@@ -1,0 +1,320 @@
+// Package traj2hash's root benchmark suite regenerates every table and
+// figure of the paper at the Tiny scale (one iteration ≈ seconds), plus
+// micro-benchmarks of the hot paths: exact distance functions, embedding,
+// hashing, and the three search strategies.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Regenerate one artifact (e.g. Table II):
+//
+//	go test -bench=BenchmarkTable2 -benchmem
+//
+// The tables print on the first iteration so a bench run doubles as a
+// reproduction run; larger scales are available through cmd/traj2hash.
+package traj2hash
+
+import (
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"traj2hash/internal/core"
+	"traj2hash/internal/data"
+	"traj2hash/internal/dist"
+	"traj2hash/internal/experiments"
+	"traj2hash/internal/geo"
+	"traj2hash/internal/hamming"
+	"traj2hash/internal/search"
+)
+
+// benchExperiment runs a registry experiment once per iteration, printing
+// the resulting table on the first.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tbl, err := exp.Run(experiments.Tiny, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			tbl.Fprint(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkTable1_EuclideanAccuracy(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2_HammingAccuracy(b *testing.B)   { benchExperiment(b, "table2") }
+func BenchmarkTable3_Ablation(b *testing.B)          { benchExperiment(b, "table3") }
+func BenchmarkFig4_ReadoutLayers(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFig5_TimeVsDatabaseSize(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFig6_TimeVsK(b *testing.B)             { benchExperiment(b, "fig6") }
+func BenchmarkFig7_GridRepresentations(b *testing.B) { benchExperiment(b, "fig7") }
+func BenchmarkFig8_AlphaSweep(b *testing.B)          { benchExperiment(b, "fig8") }
+func BenchmarkFig9_GammaSweep(b *testing.B)          { benchExperiment(b, "fig9") }
+
+// --- micro-benchmarks of the substrates ---
+
+var (
+	microOnce  sync.Once
+	microTrajs []geo.Trajectory
+	microModel *core.Model
+)
+
+func microSetup(b *testing.B) {
+	b.Helper()
+	microOnce.Do(func() {
+		microTrajs = data.Porto().Generate(256, 1)
+		cfg := core.DefaultConfig(16)
+		cfg.Heads = 2
+		cfg.Blocks = 1
+		cfg.MaxLen = 16
+		cfg.GridCellSize = 200
+		cfg.GridPreEpochs = 1
+		m, err := core.New(cfg, microTrajs)
+		if err != nil {
+			panic(err)
+		}
+		microModel = m
+	})
+}
+
+func BenchmarkDistDTW(b *testing.B) {
+	microSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist.DTW(microTrajs[i%128], microTrajs[128+i%128])
+	}
+}
+
+func BenchmarkDistFrechet(b *testing.B) {
+	microSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist.Frechet(microTrajs[i%128], microTrajs[128+i%128])
+	}
+}
+
+func BenchmarkDistHausdorff(b *testing.B) {
+	microSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist.Hausdorff(microTrajs[i%128], microTrajs[128+i%128])
+	}
+}
+
+func BenchmarkEmbed(b *testing.B) {
+	microSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		microModel.Embed(microTrajs[i%256])
+	}
+}
+
+func BenchmarkHashCode(b *testing.B) {
+	microSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		microModel.Code(microTrajs[i%256])
+	}
+}
+
+func benchSearchSetup(b *testing.B, n int) ([]hamming.Code, [][]float64, hamming.Code, []float64) {
+	b.Helper()
+	microSetup(b)
+	trajs := data.Porto().Generate(n, 2)
+	codes := make([]hamming.Code, n)
+	embs := make([][]float64, n)
+	for i, t := range trajs {
+		embs[i] = microModel.Embed(t)
+		codes[i] = hamming.FromSigns(embs[i])
+	}
+	q := microModel.Embed(microTrajs[0])
+	return codes, embs, hamming.FromSigns(q), q
+}
+
+func BenchmarkSearchEuclideanBF10k(b *testing.B) {
+	_, embs, _, q := benchSearchSetup(b, 10000)
+	s, err := search.NewEuclideanBF(embs, [][]float64{q})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Search(0, 50)
+	}
+}
+
+func BenchmarkSearchHammingBF10k(b *testing.B) {
+	codes, _, qc, _ := benchSearchSetup(b, 10000)
+	s, err := search.NewHammingBF(codes, []hamming.Code{qc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Search(0, 50)
+	}
+}
+
+func BenchmarkSearchHammingHybrid10k(b *testing.B) {
+	codes, _, qc, _ := benchSearchSetup(b, 10000)
+	s, err := search.NewHammingHybrid(codes, []hamming.Code{qc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Search(0, 50)
+	}
+}
+
+// BenchmarkSearchVPTree10k measures the exact Euclidean k-NN metric-tree
+// extension (see internal/search/vptree.go) against the linear scans above.
+func BenchmarkSearchVPTree10k(b *testing.B) {
+	_, embs, _, q := benchSearchSetup(b, 10000)
+	tree, err := search.NewVPTree(embs, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Search(q, 50)
+	}
+}
+
+// BenchmarkSearchHammingMIH10k measures the multi-index hashing extension
+// (see internal/hamming/mih.go) on the same short-code workload as the
+// three paper strategies above. Short dense codes favor the hybrid's whole-
+// code radius expansion; MIH's regime is long codes — see
+// BenchmarkSearchLongCodes64.
+func BenchmarkSearchHammingMIH10k(b *testing.B) {
+	codes, _, qc, _ := benchSearchSetup(b, 10000)
+	s, err := search.NewHammingMIH(codes, []hamming.Code{qc}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Search(0, 50)
+	}
+}
+
+// BenchmarkSearchLongCodes64 compares the paper's strategies against MIH on
+// 64-bit codes — the footnote-5 regime where whole-code radius-2 expansion
+// probes C(64,2)+65 ≈ 2.1K buckets of a mostly empty table and the hybrid
+// degenerates to a brute-force scan, while MIH probes four 16-bit tables.
+// Codes are clustered (noisy copies of shared patterns) so neighborhoods
+// are non-trivial, as trained trajectory codes are.
+func BenchmarkSearchLongCodes64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	codes := make([]hamming.Code, n)
+	for i := range codes {
+		v := make([]float64, 64)
+		base := int64(i % 200) // 200 shared patterns
+		prng := rand.New(rand.NewSource(base))
+		for j := range v {
+			v[j] = prng.NormFloat64()
+			if rng.Float64() < 0.05 { // 5% bit noise
+				v[j] = -v[j]
+			}
+		}
+		codes[i] = hamming.FromSigns(v)
+	}
+	q := codes[7]
+	hybrid, err := search.NewHammingHybrid(codes, []hamming.Code{q})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mih, err := search.NewHammingMIH(codes, []hamming.Code{q}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bf, err := search.NewHammingBF(codes, []hamming.Code{q})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("HammingBF", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bf.Search(0, 50)
+		}
+	})
+	b.Run("HammingHybrid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hybrid.Search(0, 50)
+		}
+	})
+	b.Run("HammingMIH", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mih.Search(0, 50)
+		}
+	})
+}
+
+func BenchmarkTripletGeneration(b *testing.B) {
+	corpus := data.Porto().Generate(500, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trips := core.GenerateTriplets(corpus, 500, 200, int64(i))
+		if len(trips) == 0 {
+			b.Fatal("no triplets")
+		}
+	}
+}
+
+func BenchmarkTrainEpochTiny(b *testing.B) {
+	seeds := data.Porto().Generate(24, 4)
+	cfg := core.DefaultConfig(16)
+	cfg.Heads = 2
+	cfg.Blocks = 1
+	cfg.MaxLen = 12
+	cfg.M = 4
+	cfg.Epochs = 1
+	cfg.BatchSize = 8
+	cfg.GridCellSize = 200
+	cfg.GridPreEpochs = 1
+	cfg.UseTriplets = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		m, err := core.New(cfg, seeds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Train(core.TrainData{Seeds: seeds, F: dist.FrechetDist}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactVsApprox reports the headline speed gap motivating the
+// paper: exact DTW versus one embedding-distance computation.
+func BenchmarkExactVsApprox(b *testing.B) {
+	microSetup(b)
+	a, c := microTrajs[0], microTrajs[1]
+	ea := microModel.Embed(a)
+	ec := microModel.Embed(c)
+	b.Run("ExactDTW", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dist.DTW(a, c)
+		}
+	})
+	b.Run("EmbeddingDistance", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var sum float64
+			for j := range ea {
+				d := ea[j] - ec[j]
+				sum += d * d
+			}
+			_ = sum
+		}
+	})
+}

@@ -1,0 +1,320 @@
+// Command traj2hash is the command-line interface of the library:
+//
+//	traj2hash gen        generate a synthetic trajectory dataset
+//	traj2hash train      train a Traj2Hash model on a dataset
+//	traj2hash search     top-k similar trajectory search with a trained model
+//	traj2hash experiment reproduce one of the paper's tables or figures
+//	traj2hash all        reproduce every table and figure
+//
+// Run any subcommand with -h for its flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"traj2hash/internal/core"
+	"traj2hash/internal/data"
+	"traj2hash/internal/dist"
+	"traj2hash/internal/experiments"
+	"traj2hash/internal/geo"
+	"traj2hash/internal/search"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "import":
+		err = cmdImport(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "search":
+		err = cmdSearch(os.Args[2:])
+	case "experiment":
+		err = cmdExperiment(os.Args[2:])
+	case "all":
+		err = cmdAll(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traj2hash:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: traj2hash <command> [flags]
+
+commands:
+  gen         generate a synthetic trajectory dataset (porto | chengdu)
+  import      build a dataset from a CSV of real trajectories
+  train       train a Traj2Hash model on a generated dataset
+  search      top-k similar trajectory search with a trained model
+  experiment  reproduce a paper table/figure: table1..3 fig4..9 extra-cdtw
+  all         reproduce every table and figure`)
+}
+
+func cityByName(name string) (*data.City, error) {
+	switch name {
+	case "porto":
+		return data.Porto(), nil
+	case "chengdu":
+		return data.ChengDu(), nil
+	default:
+		return nil, fmt.Errorf("unknown city %q (porto|chengdu)", name)
+	}
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	city := fs.String("city", "porto", "city model: porto or chengdu")
+	scale := fs.String("scale", "small", "dataset scale: tiny|small|medium|paper")
+	out := fs.String("out", "dataset.gob", "output path")
+	seed := fs.Int64("seed", 1, "generation seed")
+	fs.Parse(args)
+
+	c, err := cityByName(*city)
+	if err != nil {
+		return err
+	}
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		return err
+	}
+	p := experiments.ParamsFor(sc)
+	start := time.Now()
+	ds := data.Build(c, p.Split, *seed)
+	if err := ds.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("generated %s dataset: %d seeds, %d validation, %d corpus, %d queries, %d database (%v) -> %s\n",
+		ds.Name, len(ds.Seeds), len(ds.Validation), len(ds.Corpus), len(ds.Queries), len(ds.Database),
+		time.Since(start).Round(time.Millisecond), *out)
+	return nil
+}
+
+// cmdImport builds a Dataset from a CSV of real trajectories
+// (traj_id,x,y rows in planar meters, or traj_id,lon,lat with -lonlat).
+// Trajectories are shuffled and split by the given ratios, then saved in
+// the same gob format gen produces, so train/search work unchanged.
+func cmdImport(args []string) error {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	in := fs.String("csv", "", "input CSV path (required)")
+	out := fs.String("out", "dataset.gob", "output dataset path")
+	name := fs.String("name", "imported", "dataset name")
+	lonlat := fs.Bool("lonlat", false, "coordinates are lon,lat degrees (projected to meters)")
+	refLat := fs.Float64("reflat", 0, "reference latitude for -lonlat (default: first point's)")
+	seedFrac := fs.Float64("seeds", 0.05, "fraction used as exact-distance seeds")
+	valFrac := fs.Float64("val", 0.05, "fraction used for validation")
+	corpusFrac := fs.Float64("corpus", 0.30, "fraction used as triplet corpus")
+	queryFrac := fs.Float64("queries", 0.05, "fraction used as test queries")
+	seed := fs.Int64("seed", 1, "shuffle seed")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("import: -csv is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var ts []geo.Trajectory
+	if *lonlat {
+		ref := *refLat
+		if ref == 0 {
+			// No reference latitude given: read the raw degree values and
+			// project with the first point's latitude as the reference.
+			all, err := data.ReadCSV(f)
+			if err != nil {
+				return err
+			}
+			if len(all) == 0 || len(all[0]) == 0 {
+				return fmt.Errorf("import: empty CSV")
+			}
+			ref = all[0][0].Y // the raw Y column holds latitude degrees
+			for _, raw := range all {
+				t := make(geo.Trajectory, len(raw))
+				for i, p := range raw {
+					t[i] = geo.ProjectEquirectangular(p.X, p.Y, ref)
+				}
+				ts = append(ts, t)
+			}
+		} else {
+			ts, err = data.ReadCSVLonLat(f, ref)
+			if err != nil {
+				return err
+			}
+		}
+	} else {
+		ts, err = data.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+	}
+	ts = data.Filter(ts, data.MinPoints)
+	if len(ts) < 20 {
+		return fmt.Errorf("import: only %d trajectories with ≥%d points; need at least 20", len(ts), data.MinPoints)
+	}
+	ds, err := data.SplitByFractions(*name, ts, *seedFrac, *valFrac, *corpusFrac, *queryFrac, *seed)
+	if err != nil {
+		return err
+	}
+	if err := ds.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("imported %d trajectories: %d seeds, %d validation, %d corpus, %d queries, %d database -> %s\n",
+		len(ts), len(ds.Seeds), len(ds.Validation), len(ds.Corpus), len(ds.Queries), len(ds.Database), *out)
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	in := fs.String("data", "dataset.gob", "dataset path (from gen)")
+	distName := fs.String("dist", "frechet", "distance function: dtw|frechet|hausdorff")
+	scale := fs.String("scale", "small", "model scale: tiny|small|medium|paper")
+	out := fs.String("out", "model.gob", "output model path")
+	fs.Parse(args)
+
+	ds, err := data.Load(*in)
+	if err != nil {
+		return err
+	}
+	f, err := dist.ParseFunc(*distName)
+	if err != nil {
+		return err
+	}
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.ParamsFor(sc).CoreConfig()
+	m, err := core.New(cfg, ds.All())
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	h, err := m.Train(core.TrainData{
+		Seeds: ds.Seeds, Validation: ds.Validation, Corpus: ds.Corpus, F: f,
+	})
+	if err != nil {
+		return err
+	}
+	if err := m.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("trained %s on %s for %v: best validation HR@10 %.4f at epoch %d, %d triplets (%v) -> %s\n",
+		f, ds.Name, cfg.Epochs, h.BestHR10, h.BestEpoch, h.Triplets,
+		time.Since(start).Round(time.Millisecond), *out)
+	return nil
+}
+
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	modelPath := fs.String("model", "model.gob", "trained model path")
+	in := fs.String("data", "dataset.gob", "dataset path; queries search its database split")
+	k := fs.Int("k", 10, "number of results per query")
+	strategy := fs.String("strategy", "hamming-hybrid", "euclidean-bf | hamming-bf | hamming-hybrid")
+	numQueries := fs.Int("queries", 5, "number of queries to run")
+	fs.Parse(args)
+
+	m, err := core.LoadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	ds, err := data.Load(*in)
+	if err != nil {
+		return err
+	}
+	queries := ds.Queries
+	if *numQueries < len(queries) {
+		queries = queries[:*numQueries]
+	}
+
+	var s search.Searcher
+	switch *strategy {
+	case "euclidean-bf":
+		s, err = search.NewEuclideanBF(m.EmbedAll(ds.Database), m.EmbedAll(queries))
+	case "hamming-bf":
+		s, err = search.NewHammingBF(m.CodeAll(ds.Database), m.CodeAll(queries))
+	case "hamming-hybrid":
+		s, err = search.NewHammingHybrid(m.CodeAll(ds.Database), m.CodeAll(queries))
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	results := search.RunAll(s, len(queries), *k)
+	elapsed := time.Since(start)
+	for qi, ids := range results {
+		fmt.Printf("query %d (%d points): top-%d database ids %v\n", qi, len(queries[qi]), *k, ids)
+	}
+	fmt.Printf("%s: %d queries in %v (%v/query)\n",
+		s.Name(), len(queries), elapsed.Round(time.Microsecond), (elapsed / time.Duration(len(queries))).Round(time.Microsecond))
+	if hh, ok := s.(*search.HammingHybrid); ok {
+		fmt.Printf("hybrid fast path used for %d/%d queries\n", hh.FastPathCount, len(queries))
+	}
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	scale := fs.String("scale", "tiny", "experiment scale: tiny|small|medium|paper")
+	verbose := fs.Bool("v", false, "log per-cell progress")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		return fmt.Errorf("experiment: need an id (table1..3, fig4..9, extra-cdtw)")
+	}
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		return err
+	}
+	for _, id := range fs.Args() {
+		exp, err := experiments.Lookup(id)
+		if err != nil {
+			return err
+		}
+		var log *os.File
+		if *verbose {
+			log = os.Stderr
+		}
+		start := time.Now()
+		tbl, err := exp.Run(sc, log)
+		if err != nil {
+			return err
+		}
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("(%s at scale %s in %v)\n", exp.ID, sc, time.Since(start).Round(time.Millisecond))
+		if claims := experiments.PaperClaims[exp.ID]; len(claims) > 0 {
+			fmt.Println("paper claims to compare against:")
+			for _, c := range claims {
+				fmt.Printf("  - %s\n", c)
+			}
+		}
+	}
+	return nil
+}
+
+func cmdAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	scale := fs.String("scale", "tiny", "experiment scale: tiny|small|medium|paper")
+	fs.Parse(args)
+	ids := make([]string, 0, len(experiments.All()))
+	for _, e := range experiments.All() {
+		ids = append(ids, e.ID)
+	}
+	return cmdExperiment(append([]string{"-scale", *scale}, ids...))
+}

@@ -1,0 +1,3 @@
+module traj2hash
+
+go 1.22

@@ -1,0 +1,166 @@
+package traj2hash
+
+import (
+	"fmt"
+	"math"
+
+	"traj2hash/internal/hamming"
+	"traj2hash/internal/topk"
+)
+
+// Result is one search hit: the database id and the score under the
+// strategy that produced it (squared Euclidean distance for
+// SearchEuclidean; Hamming distance for the Hamming strategies — smaller
+// is more similar in both cases).
+type Result struct {
+	ID    int
+	Score float64
+}
+
+// Index is a searchable trajectory database: it stores each trajectory's
+// Euclidean-space embedding and Hamming-space code and answers top-k
+// similar-trajectory queries with any of the paper's three strategies.
+// Trajectories can be added incrementally.
+type Index struct {
+	model *Model
+	trajs []Trajectory
+	embs  [][]float64
+	table *hamming.Table
+}
+
+// NewIndex embeds and indexes the given trajectories with a trained model.
+// At least one trajectory is required (the Hamming table needs a code
+// length); use Add for subsequent insertions.
+func NewIndex(m *Model, ts []Trajectory) (*Index, error) {
+	if m == nil {
+		return nil, fmt.Errorf("traj2hash: nil model")
+	}
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("traj2hash: empty initial database")
+	}
+	ix := &Index{model: m}
+	embs := make([][]float64, len(ts))
+	codes := make([]hamming.Code, len(ts))
+	for i, t := range ts {
+		embs[i] = m.Embed(t)
+		codes[i] = hamming.FromSigns(embs[i])
+	}
+	table, err := hamming.NewTable(codes)
+	if err != nil {
+		return nil, err
+	}
+	ix.trajs = append(ix.trajs, ts...)
+	ix.embs = embs
+	ix.table = table
+	return ix, nil
+}
+
+// Add embeds and indexes one more trajectory, returning its id.
+func (ix *Index) Add(t Trajectory) (int, error) {
+	emb := ix.model.Embed(t)
+	id, err := ix.table.Add(hamming.FromSigns(emb))
+	if err != nil {
+		return 0, err
+	}
+	ix.trajs = append(ix.trajs, t)
+	ix.embs = append(ix.embs, emb)
+	return id, nil
+}
+
+// Len returns the number of indexed trajectories.
+func (ix *Index) Len() int { return len(ix.trajs) }
+
+// Trajectory returns the indexed trajectory with the given id.
+func (ix *Index) Trajectory(id int) Trajectory { return ix.trajs[id] }
+
+// Embedding returns the stored Euclidean-space embedding of id.
+func (ix *Index) Embedding(id int) []float64 { return ix.embs[id] }
+
+// SearchEuclidean returns the k most similar trajectories by embedding
+// distance (Euclidean-BF): exact over the learned space, highest accuracy,
+// linear scan cost. The query is embedded on the fly; to amortize encoding
+// over repeated searches, embed once with the Model and use
+// SearchEuclideanByVec.
+func (ix *Index) SearchEuclidean(q Trajectory, k int) []Result {
+	return ix.SearchEuclideanByVec(ix.model.Embed(q), k)
+}
+
+// SearchEuclideanByVec is SearchEuclidean with a precomputed query
+// embedding (from Model.Embed).
+func (ix *Index) SearchEuclideanByVec(qe []float64, k int) []Result {
+	items := topk.Select(len(ix.embs), k, func(i int) float64 {
+		var sum float64
+		for j := range qe {
+			d := qe[j] - ix.embs[i][j]
+			sum += d * d
+		}
+		return sum
+	})
+	return toResults(items)
+}
+
+// SearchHamming returns the k most similar trajectories by Hamming distance
+// over the binary codes (Hamming-BF): a popcount scan, ~2× faster than the
+// Euclidean scan.
+func (ix *Index) SearchHamming(q Trajectory, k int) []Result {
+	return ix.SearchHammingByCode(ix.model.Code(q), k)
+}
+
+// SearchHammingByCode is SearchHamming with a precomputed query code (from
+// Model.Code).
+func (ix *Index) SearchHammingByCode(qc Code, k int) []Result {
+	return neighborsToResults(ix.table.BruteForce(qc, k))
+}
+
+// SearchHybrid returns the k most similar trajectories with the paper's
+// Hamming-Hybrid strategy: radius-2 table lookup when the neighborhood
+// holds at least k items, brute-force scan otherwise. Fastest on large
+// databases.
+func (ix *Index) SearchHybrid(q Trajectory, k int) []Result {
+	return ix.SearchHybridByCode(ix.model.Code(q), k)
+}
+
+// SearchHybridByCode is SearchHybrid with a precomputed query code.
+func (ix *Index) SearchHybridByCode(qc Code, k int) []Result {
+	ns, _ := ix.table.Hybrid(qc, k)
+	return neighborsToResults(ns)
+}
+
+// Within returns the ids of indexed trajectories whose hash codes lie
+// within the given Hamming radius (0–2) of the query's code — the bucket
+// neighborhood used for gathering-pattern style grouping (see
+// examples/clustering).
+func (ix *Index) Within(q Trajectory, radius int) []int {
+	return ix.table.LookupRadius(ix.model.Code(q), radius)
+}
+
+// Code returns the query's Hamming code under the index's model.
+func (ix *Index) Code(q Trajectory) Code { return ix.model.Code(q) }
+
+// ApproxDistance returns the index's learned approximation of the
+// trajectory distance between the query and an indexed trajectory.
+func (ix *Index) ApproxDistance(q Trajectory, id int) float64 {
+	qe := ix.model.Embed(q)
+	var sum float64
+	for j := range qe {
+		d := qe[j] - ix.embs[id][j]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+func toResults(items []topk.Item) []Result {
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{ID: it.ID, Score: it.Dist}
+	}
+	return out
+}
+
+func neighborsToResults(ns []hamming.Neighbor) []Result {
+	out := make([]Result, len(ns))
+	for i, n := range ns {
+		out[i] = Result{ID: n.ID, Score: float64(n.Distance)}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"traj2hash/internal/geo"
+	"traj2hash/internal/grid"
+	"traj2hash/internal/nn"
+)
+
+// NeuTraj is the seed-guided neural metric learning baseline [22]: a GRU
+// over normalized GPS coordinates with a spatial attention memory (SAM)
+// that lets the recurrent state read what previous trajectories wrote into
+// the grid cells it passes through. The final hidden state is the
+// embedding (the read-out that, per Section V-B, implicitly realizes the
+// lower bound for DTW/Fréchet).
+type NeuTraj struct {
+	name     string
+	cfg      BaseConfig
+	stats    geo.Stats
+	g        *grid.Grid
+	cell     *nn.GRUCell
+	memory   []float64 // SAM: one slot per coarse cell (non-gradient, EMA-written)
+	memW     *nn.Linear
+	useSAM   bool
+	training bool
+}
+
+// NewNeuTraj builds the full NeuTraj with SAM enabled.
+func NewNeuTraj(cfg BaseConfig, space []geo.Trajectory) (*NeuTraj, error) {
+	return newNeuTraj(cfg, space, true, "NeuTraj")
+}
+
+// NewNTNoSAM builds the NT-No-SAM ablation: the same GRU metric learner
+// without the spatial attention memory.
+func NewNTNoSAM(cfg BaseConfig, space []geo.Trajectory) (*NeuTraj, error) {
+	return newNeuTraj(cfg, space, false, "NT-No-SAM")
+}
+
+func newNeuTraj(cfg BaseConfig, space []geo.Trajectory, useSAM bool, name string) (*NeuTraj, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := &NeuTraj{
+		name:   name,
+		cfg:    cfg,
+		stats:  geo.ComputeStats(space),
+		cell:   nn.NewGRUCell(2, cfg.Dim, rng),
+		useSAM: useSAM,
+	}
+	if useSAM {
+		// SAM memory over a coarse grid (NeuTraj uses the spatial grid to
+		// address memory; a coarse cell keeps the table small).
+		g, err := grid.FromTrajectories(space, 500)
+		if err != nil {
+			return nil, err
+		}
+		n.g = g
+		n.memory = make([]float64, g.Cells()*cfg.Dim)
+		n.memW = nn.NewLinear(cfg.Dim, cfg.Dim, rng)
+		// Start the read gate nearly closed (σ(−4) ≈ 0.018) so SAM begins
+		// as a no-op and only contributes where training opens it — the
+		// memory is an auxiliary signal, not a replacement for the state.
+		for i := range n.memW.B.Data {
+			n.memW.B.Data[i] = -4
+		}
+	}
+	return n, nil
+}
+
+// SetTraining toggles training mode: memory is written only while
+// training, so inference embeddings are deterministic and order-free.
+func (n *NeuTraj) SetTraining(v bool) { n.training = v }
+
+// Name implements Encoder.
+func (n *NeuTraj) Name() string { return n.name }
+
+// OutDim implements Encoder.
+func (n *NeuTraj) OutDim() int { return n.cfg.Dim }
+
+// Params implements Encoder.
+func (n *NeuTraj) Params() []*nn.Tensor {
+	ps := n.cell.Params()
+	if n.useSAM {
+		ps = append(ps, n.memW.Params()...)
+	}
+	return ps
+}
+
+// Forward implements Encoder: run the GRU over the trajectory; with SAM,
+// blend each step's hidden state with the memory of the current cell
+// (gated read) and write the state back with an exponential moving
+// average. Memory writes carry no gradient — they are a cross-trajectory
+// cache, as in the original SAM design.
+func (n *NeuTraj) Forward(t geo.Trajectory) *nn.Tensor {
+	p := prepTraj(t, n.cfg.MaxLen)
+	x := pointFeatures(p, n.stats)
+	h := n.cell.InitState()
+	for i := 0; i < x.Rows; i++ {
+		h = n.cell.Step(nn.SliceRows(x, i, i+1), h)
+		if n.useSAM {
+			cellID := n.g.ID(p[i])
+			mem := n.memory[cellID*n.cfg.Dim : (cellID+1)*n.cfg.Dim]
+			memT := nn.FromVec(mem) // constant: reads do not backprop into memory
+			// Gated read: h ← h + σ(W·h) ⊙ mem.
+			gate := nn.Sigmoid(n.memW.Forward(h))
+			h = nn.Add(h, nn.Mul(gate, memT))
+			// EMA write-back of the current state, during training only:
+			// inference must not mutate shared state, or embeddings become
+			// order-dependent.
+			if n.training {
+				for k := 0; k < n.cfg.Dim; k++ {
+					mem[k] = 0.9*mem[k] + 0.1*h.Data[k]
+				}
+			}
+		}
+	}
+	return h
+}
+
+// ResetMemory clears the SAM memory (between train and test phases, or for
+// reproducibility).
+func (n *NeuTraj) ResetMemory() {
+	for i := range n.memory {
+		n.memory[i] = 0
+	}
+}

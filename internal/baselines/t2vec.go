@@ -1,0 +1,145 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"traj2hash/internal/geo"
+	"traj2hash/internal/grid"
+	"traj2hash/internal/nn"
+)
+
+// T2Vec is the sequential autoencoder baseline [42]: trajectories are
+// tokenized into grid cells, a GRU encoder compresses the token sequence,
+// and a GRU decoder reconstructs it; the encoder's final state is the
+// trajectory embedding. The training is distance-agnostic (it never sees
+// the target distance function), which is why it ranks last in Table I.
+type T2Vec struct {
+	cfg  BaseConfig
+	g    *grid.Grid
+	emb  *nn.Embedding // trainable cell embeddings
+	enc  *nn.GRUCell
+	dec  *nn.GRUCell
+	outW *nn.Linear // decoder hidden → predicted cell embedding
+	rng  *rand.Rand
+}
+
+// NewT2Vec builds the autoencoder over a cell grid of the given size
+// (coarser than the 50 m encoder grid to keep the vocabulary small — t2vec
+// itself uses a learned vocabulary of hot cells).
+func NewT2Vec(cfg BaseConfig, space []geo.Trajectory, cellSize float64) (*T2Vec, error) {
+	g, err := grid.FromTrajectories(space, cellSize)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &T2Vec{
+		cfg:  cfg,
+		g:    g,
+		emb:  nn.NewEmbedding(g.Cells(), cfg.Dim, rng),
+		enc:  nn.NewGRUCell(cfg.Dim, cfg.Dim, rng),
+		dec:  nn.NewGRUCell(cfg.Dim, cfg.Dim, rng),
+		outW: nn.NewLinear(cfg.Dim, cfg.Dim, rng),
+		rng:  rng,
+	}, nil
+}
+
+// Name implements Encoder.
+func (t *T2Vec) Name() string { return "t2vec" }
+
+// OutDim implements Encoder.
+func (t *T2Vec) OutDim() int { return t.cfg.Dim }
+
+// Params implements Encoder.
+func (t *T2Vec) Params() []*nn.Tensor {
+	ps := t.emb.Params()
+	ps = append(ps, t.enc.Params()...)
+	ps = append(ps, t.dec.Params()...)
+	ps = append(ps, t.outW.Params()...)
+	return ps
+}
+
+// tokens maps a trajectory to its (deduplicated) cell token sequence.
+func (t *T2Vec) tokens(tr geo.Trajectory) []int {
+	p := prepTraj(tr, t.cfg.MaxLen)
+	return t.g.GridTrajectory(p)
+}
+
+// Forward implements Encoder: the encoder GRU's final state.
+func (t *T2Vec) Forward(tr geo.Trajectory) *nn.Tensor {
+	x := t.emb.Forward(t.tokens(tr))
+	return t.enc.Final(x)
+}
+
+// reconstructionLoss runs encode→decode with teacher forcing. At each step
+// the decoder predicts the next cell's embedding; a margin loss pulls the
+// prediction toward the true cell and pushes it from a random noise cell
+// (negative sampling keeps the embedding table from collapsing).
+func (t *T2Vec) reconstructionLoss(tr geo.Trajectory) *nn.Tensor {
+	toks := t.tokens(tr)
+	x := t.emb.Forward(toks)
+	h := t.enc.Final(x)
+	var terms []*nn.Tensor
+	prev := nn.New(1, t.cfg.Dim) // start-of-sequence input
+	state := h
+	for i := 0; i < len(toks); i++ {
+		state = t.dec.Step(prev, state)
+		pred := t.outW.Forward(state)
+		target := nn.SliceRows(x, i, i+1)
+		noiseID := t.rng.Intn(t.g.Cells())
+		noise := t.emb.Forward([]int{noiseID})
+		// Hinge margin: score(pred, target) should beat score(pred, noise).
+		margin := nn.AddScalar(nn.Sub(nn.Dot(pred, noise), nn.Dot(pred, target)), 1)
+		terms = append(terms, nn.HingeScalar(margin))
+		prev = target
+	}
+	total := terms[0]
+	for _, tm := range terms[1:] {
+		total = nn.Add(total, tm)
+	}
+	return nn.Scale(total, 1/float64(len(toks)))
+}
+
+// Train fits the autoencoder on an unlabelled corpus.
+func (t *T2Vec) Train(ts []geo.Trajectory, epochs int) []float64 {
+	opt := nn.NewAdam(t.Params(), t.cfg.LR)
+	var losses []float64
+	idx := make([]int, len(ts))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < epochs; epoch++ {
+		t.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var sum float64
+		var n int
+		for lo := 0; lo < len(idx); lo += t.cfg.BatchSize {
+			hi := lo + t.cfg.BatchSize
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			var loss *nn.Tensor
+			for _, i := range idx[lo:hi] {
+				l := t.reconstructionLoss(ts[i])
+				if loss == nil {
+					loss = l
+				} else {
+					loss = nn.Add(loss, l)
+				}
+			}
+			if loss == nil {
+				continue
+			}
+			loss = nn.Scale(loss, 1/float64(hi-lo))
+			sum += loss.Scalar()
+			n++
+			loss.Backward()
+			if t.cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(opt.Params, t.cfg.ClipNorm)
+			}
+			opt.Step()
+		}
+		if n > 0 {
+			losses = append(losses, sum/float64(n))
+		}
+	}
+	return losses
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"traj2hash/internal/geo"
+	"traj2hash/internal/grid"
+	"traj2hash/internal/nn"
+)
+
+// modelBlob is the gob wire format of a trained model: configuration,
+// study-space statistics, grid geometry, frozen grid embeddings, and the
+// trainable parameters in Params() order.
+type modelBlob struct {
+	Cfg   Config
+	Stats geo.Stats
+
+	HasGrid  bool
+	GridMinX float64
+	GridMinY float64
+	GridCell float64
+	GridNX   int
+	GridNY   int
+	// Frozen grid embeddings: decomposed coordinate tables or the node2vec
+	// cell table, depending on Cfg.GridRep.
+	ExData, EyData []float64
+	N2VData        []float64
+
+	Params [][]float64
+}
+
+// Save writes the trained model to w.
+func (m *Model) Save(w io.Writer) error {
+	blob := modelBlob{Cfg: m.Cfg, Stats: m.stats}
+	if m.fineGrid != nil {
+		blob.HasGrid = true
+		blob.GridMinX = m.fineGrid.MinX
+		blob.GridMinY = m.fineGrid.MinY
+		blob.GridCell = m.fineGrid.CellSize
+		blob.GridNX = m.fineGrid.NX
+		blob.GridNY = m.fineGrid.NY
+		switch emb := m.gridEmb.(type) {
+		case *grid.Decomposed:
+			blob.ExData = emb.Ex.Data
+			blob.EyData = emb.Ey.Data
+		case *grid.Node2Vec:
+			blob.N2VData = emb.Table.Data
+		}
+	}
+	for _, p := range m.Params() {
+		blob.Params = append(blob.Params, p.Data)
+	}
+	if err := gob.NewEncoder(w).Encode(blob); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the model to path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a model written by Save, reconstructing the architecture from
+// the stored configuration.
+func Load(r io.Reader) (*Model, error) {
+	var blob modelBlob
+	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	// Rebuild with a placeholder space covering the stored grid, then
+	// overwrite everything learned.
+	space := []geo.Trajectory{{
+		{X: blob.GridMinX, Y: blob.GridMinY},
+		{X: blob.GridMinX + blob.GridCell*float64(blob.GridNX)*0.999,
+			Y: blob.GridMinY + blob.GridCell*float64(blob.GridNY)*0.999},
+	}}
+	if !blob.HasGrid {
+		space = []geo.Trajectory{{{X: 0, Y: 0}, {X: 1, Y: 1}}}
+	}
+	cfg := blob.Cfg
+	cfg.GridPreEpochs = 0 // embeddings are restored, not retrained
+	m, err := New(cfg, space)
+	if err != nil {
+		return nil, fmt.Errorf("core: load rebuild: %w", err)
+	}
+	m.stats = blob.Stats
+	if blob.HasGrid {
+		m.fineGrid = &grid.Grid{
+			MinX: blob.GridMinX, MinY: blob.GridMinY,
+			CellSize: blob.GridCell, NX: blob.GridNX, NY: blob.GridNY,
+		}
+		switch cfg.GridRep {
+		case Node2VecRep:
+			if len(blob.N2VData) != m.fineGrid.Cells()*cfg.Dim {
+				return nil, fmt.Errorf("core: load: node2vec table size %d != %d", len(blob.N2VData), m.fineGrid.Cells()*cfg.Dim)
+			}
+			n2v := &grid.Node2Vec{Grid: m.fineGrid, Dim: cfg.Dim,
+				Table: nn.FromSlice(m.fineGrid.Cells(), cfg.Dim, blob.N2VData)}
+			m.gridEmb = n2v
+		default:
+			if len(blob.ExData) != m.fineGrid.NX*cfg.Dim || len(blob.EyData) != m.fineGrid.NY*cfg.Dim {
+				return nil, fmt.Errorf("core: load: coordinate table size mismatch")
+			}
+			m.gridEmb = &grid.Decomposed{
+				Grid: m.fineGrid, Dim: cfg.Dim,
+				Ex: nn.FromSlice(m.fineGrid.NX, cfg.Dim, blob.ExData),
+				Ey: nn.FromSlice(m.fineGrid.NY, cfg.Dim, blob.EyData),
+			}
+		}
+	}
+	ps := m.Params()
+	if len(ps) != len(blob.Params) {
+		return nil, fmt.Errorf("core: load: %d params stored, model has %d", len(blob.Params), len(ps))
+	}
+	for i, p := range ps {
+		if len(p.Data) != len(blob.Params[i]) {
+			return nil, fmt.Errorf("core: load: param %d size %d != %d", i, len(blob.Params[i]), len(p.Data))
+		}
+		copy(p.Data, blob.Params[i])
+	}
+	return m, nil
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

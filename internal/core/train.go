@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"traj2hash/internal/dist"
+	"traj2hash/internal/eval"
+	"traj2hash/internal/geo"
+	"traj2hash/internal/nn"
+)
+
+// TrainData is the input of the optimization component (Section IV-F): a
+// seed set with exact pairwise distances, a validation set for model
+// selection, an unlabelled corpus for fast triplet generation, and the
+// distance function to approximate.
+type TrainData struct {
+	Seeds      []geo.Trajectory
+	Validation []geo.Trajectory
+	Corpus     []geo.Trajectory
+	F          dist.Func
+}
+
+// History records one training run.
+type History struct {
+	EpochLoss []float64 // mean combined loss per epoch
+	ValHR10   []float64 // validation HR@10 per epoch
+	BestEpoch int
+	BestHR10  float64
+	Theta     float64 // the similarity smoothing actually used
+	Triplets  int     // triplets generated from the corpus
+}
+
+// RankingHinge builds the ranking-based hashing objective term of
+// Equation 19 for one (anchor, positive, negative) triple of relaxed codes:
+// [−u_a·u_p + u_a·u_n + α]_+ . It is shared with the baselines' hash
+// adapters (Section V-A3 trains them with this same objective).
+func RankingHinge(ua, up, un *nn.Tensor, alpha float64) *nn.Tensor {
+	margin := nn.AddScalar(nn.Sub(nn.Dot(ua, un), nn.Dot(ua, up)), alpha)
+	return nn.HingeScalar(margin)
+}
+
+// sampleSet holds the WMSE samples of one anchor: indices into the seed
+// slice and their rank weights r_j (most similar first).
+type sampleSet struct {
+	ids     []int
+	weights []float64
+}
+
+// buildSamples selects, per anchor, the M/2 most similar seeds plus M/2
+// random seeds, weighted by descending rank, following NeuTraj's
+// distance-weighted sampling.
+func buildSamples(s [][]float64, mSamples int, rng randSource) []sampleSet {
+	n := len(s)
+	out := make([]sampleSet, n)
+	for i := 0; i < n; i++ {
+		order := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				order = append(order, j)
+			}
+		}
+		row := s[i]
+		sort.Slice(order, func(a, b int) bool { return row[order[a]] > row[order[b]] })
+		half := mSamples / 2
+		if half > len(order) {
+			half = len(order)
+		}
+		ids := append([]int(nil), order[:half]...)
+		for len(ids) < mSamples && len(order) > 0 {
+			ids = append(ids, order[rng.Intn(len(order))])
+		}
+		w := make([]float64, len(ids))
+		var total float64
+		for k := range w {
+			w[k] = float64(len(ids) - k) // linear descending rank weight
+			total += w[k]
+		}
+		for k := range w {
+			w[k] /= total
+		}
+		out[i] = sampleSet{ids: ids, weights: w}
+	}
+	return out
+}
+
+// randSource is the subset of *rand.Rand the training loop uses, split out
+// so tests can substitute deterministic sources.
+type randSource interface {
+	Intn(n int) int
+	Shuffle(n int, swap func(i, j int))
+	Float64() float64
+}
+
+// Train runs the end-to-end optimization of Equation 21:
+// L = L_s + γ·(L_r + L_t), with Adam, HashNet β-scheduling, and
+// best-validation-HR@10 model selection (Section V-A5).
+func (m *Model) Train(td TrainData) (*History, error) {
+	if len(td.Seeds) < m.Cfg.M+1 {
+		return nil, fmt.Errorf("core: need at least M+1=%d seeds, got %d", m.Cfg.M+1, len(td.Seeds))
+	}
+	cfg := m.Cfg
+	h := &History{}
+
+	// Exact supervision over the labelled set (Section IV-A): seeds first,
+	// then validation, one symmetric matrix so validation ground truth
+	// reuses the same computation.
+	labelled := append(append([]geo.Trajectory{}, td.Seeds...), td.Validation...)
+	d := dist.Matrix(td.F, labelled)
+	theta := cfg.Theta
+	if theta <= 0 {
+		if mean := dist.MeanOffDiagonal(d); mean > 0 {
+			theta = 1 / mean
+		} else {
+			theta = 1
+		}
+	}
+	h.Theta = theta
+	s := dist.Similarity(d, theta)
+	ns := len(td.Seeds)
+	seedSim := make([][]float64, ns)
+	for i := 0; i < ns; i++ {
+		seedSim[i] = s[i][:ns]
+	}
+
+	// Validation ground truth: each validation trajectory queries the
+	// validation block (exact top-k from the distance matrix).
+	var valTruth [][]int
+	if len(td.Validation) > 0 {
+		valTruth = make([][]int, len(td.Validation))
+		for i := range td.Validation {
+			row := d[ns+i][ns:]
+			valTruth[i] = eval.TopK(row, 10)
+		}
+	}
+
+	// Fast triplet generation (Section IV-F).
+	var triplets []Triplet
+	if cfg.UseTriplets && len(td.Corpus) >= 3 {
+		triplets = GenerateTriplets(td.Corpus, cfg.TripletCellSize, cfg.NumTriplets, cfg.Seed)
+	}
+	h.Triplets = len(triplets)
+
+	samples := buildSamples(seedSim, cfg.M, m.rng)
+	opt := nn.NewAdam(m.Params(), cfg.LR)
+
+	bestSnap := m.snapshot()
+	h.BestHR10 = -1
+	anchors := make([]int, ns)
+	for i := range anchors {
+		anchors[i] = i
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		m.rng.Shuffle(len(anchors), func(i, j int) { anchors[i], anchors[j] = anchors[j], anchors[i] })
+		var epochLoss float64
+		var steps int
+
+		// WMSE + seed ranking batches.
+		for lo := 0; lo < len(anchors); lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > len(anchors) {
+				hi = len(anchors)
+			}
+			loss := m.seedBatchLoss(td.Seeds, seedSim, samples, anchors[lo:hi])
+			if loss == nil {
+				continue
+			}
+			epochLoss += loss.Scalar()
+			steps++
+			loss.Backward()
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(opt.Params, cfg.ClipNorm)
+			}
+			opt.Step()
+		}
+
+		// Triplet ranking batches on the generated corpus.
+		if len(triplets) > 0 {
+			for b := 0; b < tripletBatchesPerEpoch; b++ {
+				loss := m.tripletBatchLoss(td.Corpus, triplets)
+				if loss == nil {
+					continue
+				}
+				epochLoss += loss.Scalar()
+				steps++
+				loss.Backward()
+				if cfg.ClipNorm > 0 {
+					nn.ClipGradNorm(opt.Params, cfg.ClipNorm)
+				}
+				opt.Step()
+			}
+		}
+
+		if steps > 0 {
+			h.EpochLoss = append(h.EpochLoss, epochLoss/float64(steps))
+		} else {
+			h.EpochLoss = append(h.EpochLoss, 0)
+		}
+
+		// Validation HR@10 model selection.
+		hr := m.validationHR10(td.Validation, valTruth)
+		h.ValHR10 = append(h.ValHR10, hr)
+		if hr > h.BestHR10 {
+			h.BestHR10 = hr
+			h.BestEpoch = epoch
+			bestSnap = m.snapshot()
+		}
+
+		// HashNet relaxation schedule: β grows each epoch, sharpening
+		// tanh(β·) toward sign(·).
+		m.beta *= cfg.BetaGrowth
+	}
+	m.restore(bestSnap)
+	return h, nil
+}
+
+// tripletBatchesPerEpoch bounds the triplet work per epoch; the triplet
+// corpus is sampled, not exhausted, each epoch (it can be millions of
+// triplets at paper scale).
+const tripletBatchesPerEpoch = 2
+
+// seedBatchLoss builds L_s + γ·L_r (Equations 17 and 19) over a batch of
+// anchors. Returns nil when the batch is empty.
+func (m *Model) seedBatchLoss(seeds []geo.Trajectory, s [][]float64, samples []sampleSet, batch []int) *nn.Tensor {
+	if len(batch) == 0 {
+		return nil
+	}
+	cache := map[int]*nn.Tensor{}
+	embed := func(i int) *nn.Tensor {
+		if e, ok := cache[i]; ok {
+			return e
+		}
+		e := m.forward(seeds[i])
+		cache[i] = e
+		return e
+	}
+
+	var terms []*nn.Tensor
+	for _, i := range batch {
+		hi := embed(i)
+		set := samples[i]
+		// L_s: weighted MSE between g = exp(−‖·‖) and S_ij (Equation 17).
+		for k, j := range set.ids {
+			g := nn.Exp(nn.Scale(nn.EuclideanDistance(hi, embed(j)), -1))
+			diff := nn.AddScalar(g, -s[i][j])
+			terms = append(terms, nn.Scale(nn.Square(diff), set.weights[k]))
+		}
+		// L_r: the M samples grouped into M/2 (positive, negative) pairs by
+		// similarity (Equation 19), on the tanh-relaxed codes.
+		if m.Cfg.Gamma > 0 {
+			ui := m.relaxedCode(hi)
+			order := append([]int(nil), set.ids...)
+			row := s[i]
+			sort.Slice(order, func(a, b int) bool { return row[order[a]] > row[order[b]] })
+			for k := 0; k < len(order)/2; k++ {
+				p := order[k]
+				n := order[len(order)-1-k]
+				if row[p] <= row[n] {
+					continue
+				}
+				up := m.relaxedCode(embed(p))
+				un := m.relaxedCode(embed(n))
+				hinge := RankingHinge(ui, up, un, m.Cfg.Alpha)
+				terms = append(terms, nn.Scale(hinge, 0.5*m.Cfg.Gamma))
+			}
+		}
+	}
+	if len(terms) == 0 {
+		return nil
+	}
+	return nn.Scale(sumTerms(terms), 1/float64(len(batch)))
+}
+
+// tripletBatchLoss builds γ·L_t (Equation 20) over a random triplet batch.
+func (m *Model) tripletBatchLoss(corpus []geo.Trajectory, triplets []Triplet) *nn.Tensor {
+	if m.Cfg.Gamma == 0 || len(triplets) == 0 {
+		return nil
+	}
+	n := m.Cfg.TripletBatch
+	if n > len(triplets) {
+		n = len(triplets)
+	}
+	cache := map[int]*nn.Tensor{}
+	code := func(i int) *nn.Tensor {
+		if e, ok := cache[i]; ok {
+			return e
+		}
+		e := m.relaxedCode(m.forward(corpus[i]))
+		cache[i] = e
+		return e
+	}
+	var terms []*nn.Tensor
+	for b := 0; b < n; b++ {
+		t := triplets[m.rng.Intn(len(triplets))]
+		hinge := RankingHinge(code(t.Anchor), code(t.Positive), code(t.Negative), m.Cfg.Alpha)
+		terms = append(terms, nn.Scale(hinge, m.Cfg.Gamma))
+	}
+	if len(terms) == 0 {
+		return nil
+	}
+	return nn.Scale(sumTerms(terms), 1/float64(n))
+}
+
+// sumTerms adds a list of 1×1 tensors in a balanced tree to keep the graph
+// shallow.
+func sumTerms(terms []*nn.Tensor) *nn.Tensor {
+	for len(terms) > 1 {
+		var next []*nn.Tensor
+		for i := 0; i+1 < len(terms); i += 2 {
+			next = append(next, nn.Add(terms[i], terms[i+1]))
+		}
+		if len(terms)%2 == 1 {
+			next = append(next, terms[len(terms)-1])
+		}
+		terms = next
+	}
+	return terms[0]
+}
+
+// validationHR10 embeds the validation set and measures HR@10 of
+// Euclidean-space search against the exact ground truth.
+func (m *Model) validationHR10(val []geo.Trajectory, truth [][]int) float64 {
+	if len(val) == 0 {
+		return math.NaN()
+	}
+	embs := m.EmbedAll(val)
+	returned := make([][]int, len(val))
+	for i := range val {
+		row := make([]float64, len(val))
+		for j := range val {
+			var sum float64
+			for k := range embs[i] {
+				d := embs[i][k] - embs[j][k]
+				sum += d * d
+			}
+			row[j] = sum
+		}
+		returned[i] = eval.TopK(row, 10)
+	}
+	return eval.HitRatio(returned, truth, 10)
+}

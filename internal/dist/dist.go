@@ -1,0 +1,405 @@
+// Package dist implements the exact trajectory distance functions of the
+// paper's preliminaries (Section III, Definition 3) and Related Work:
+//
+//   - DTW (dynamic time warping)
+//   - the discrete Fréchet distance
+//   - the Hausdorff distance
+//   - ERP (edit distance with real penalty)
+//   - EDR (edit distance on real sequences)
+//   - cDTW (Sakoe–Chiba band constrained DTW, the traditional fast
+//     comparator cited in Related Work)
+//
+// plus the first/last-point lower bounds of Lemma 1, parallel pairwise
+// distance-matrix computation, and the distance→similarity transform
+// S_ij = exp(-θ·D_ij)/max(exp(-θ·D)) used as training supervision
+// (Section IV-F).
+//
+// All dynamic programs run in O(n·m) time and O(min(n,m)) memory via
+// rolling rows, so ground-truth computation for seed sets is practical.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"traj2hash/internal/geo"
+)
+
+// Func identifies a trajectory distance function.
+type Func int
+
+// The supported distance functions.
+const (
+	DTWDist Func = iota
+	FrechetDist
+	HausdorffDist
+	ERPDist
+	EDRDist
+)
+
+// String returns the conventional name of the distance function.
+func (f Func) String() string {
+	switch f {
+	case DTWDist:
+		return "DTW"
+	case FrechetDist:
+		return "Frechet"
+	case HausdorffDist:
+		return "Hausdorff"
+	case ERPDist:
+		return "ERP"
+	case EDRDist:
+		return "EDR"
+	default:
+		return fmt.Sprintf("Func(%d)", int(f))
+	}
+}
+
+// ParseFunc converts a name ("dtw", "frechet", "hausdorff", "erp", "edr")
+// into a Func.
+func ParseFunc(name string) (Func, error) {
+	switch name {
+	case "dtw", "DTW":
+		return DTWDist, nil
+	case "frechet", "Frechet", "fréchet":
+		return FrechetDist, nil
+	case "hausdorff", "Hausdorff":
+		return HausdorffDist, nil
+	case "erp", "ERP":
+		return ERPDist, nil
+	case "edr", "EDR":
+		return EDRDist, nil
+	default:
+		return 0, fmt.Errorf("dist: unknown distance function %q", name)
+	}
+}
+
+// Distance computes f between two trajectories. ERP uses the origin as its
+// gap point and EDR uses a matching threshold of 1.0 (appropriate for
+// normalized coordinates); use the specific functions directly to control
+// those parameters.
+func Distance(f Func, a, b geo.Trajectory) float64 {
+	switch f {
+	case DTWDist:
+		return DTW(a, b)
+	case FrechetDist:
+		return Frechet(a, b)
+	case HausdorffDist:
+		return Hausdorff(a, b)
+	case ERPDist:
+		return ERP(a, b, geo.Point{})
+	case EDRDist:
+		return EDR(a, b, 1.0)
+	default:
+		panic(fmt.Sprintf("dist: unknown Func %d", int(f)))
+	}
+}
+
+// ReverseSymmetric reports whether f satisfies the reverse symmetric
+// property of Definition 4 (Lemma 2). DTW, Fréchet, and Hausdorff do; the
+// edit distances do as well by symmetry of their recurrences, but the paper
+// only claims the first three, so only those are reported.
+func ReverseSymmetric(f Func) bool {
+	switch f {
+	case DTWDist, FrechetDist, HausdorffDist:
+		return true
+	default:
+		return false
+	}
+}
+
+// DTW returns the dynamic time warping distance between a and b following
+// the recurrence of Equation 1:
+//
+//	D[i][j] = min(D[i-1][j], D[i][j-1], D[i-1][j-1]) + d(a_i, b_j)
+//
+// Empty inputs: DTW with one empty side is +Inf (no warping path exists);
+// two empty trajectories have distance 0.
+func DTW(a, b geo.Trajectory) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	// Keep b the shorter side so the rolling rows are minimal.
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	m := len(b)
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+
+	// First row: only horizontal moves.
+	prev[0] = a[0].Dist(b[0])
+	for j := 1; j < m; j++ {
+		prev[j] = prev[j-1] + a[0].Dist(b[j])
+	}
+	for i := 1; i < len(a); i++ {
+		cur[0] = prev[0] + a[i].Dist(b[0])
+		for j := 1; j < m; j++ {
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			cur[j] = best + a[i].Dist(b[j])
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1]
+}
+
+// CDTW returns DTW constrained to a Sakoe–Chiba band of half-width w: cell
+// (i, j) is admissible only when |i·m/n − j| ≤ w after index scaling. This is
+// the classical fast approximation discussed in Related Work [26]–[28].
+// A band too narrow to connect the corners returns +Inf.
+func CDTW(a, b geo.Trajectory, w int) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	n, m := len(a), len(b)
+	inf := math.Inf(1)
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+
+	band := func(i int) (lo, hi int) {
+		// Scale the diagonal for unequal lengths, then widen by w.
+		c := i * (m - 1)
+		if n > 1 {
+			c /= (n - 1)
+		}
+		lo = c - w
+		hi = c + w
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > m-1 {
+			hi = m - 1
+		}
+		return lo, hi
+	}
+
+	for j := range prev {
+		prev[j] = inf
+	}
+	lo0, hi0 := band(0)
+	if lo0 == 0 {
+		prev[0] = a[0].Dist(b[0])
+		for j := 1; j <= hi0; j++ {
+			prev[j] = prev[j-1] + a[0].Dist(b[j])
+		}
+	}
+	for i := 1; i < n; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo, hi := band(i)
+		for j := lo; j <= hi; j++ {
+			best := prev[j]
+			if j > 0 {
+				if prev[j-1] < best {
+					best = prev[j-1]
+				}
+				if cur[j-1] < best {
+					best = cur[j-1]
+				}
+			}
+			if math.IsInf(best, 1) {
+				continue
+			}
+			cur[j] = best + a[i].Dist(b[j])
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1]
+}
+
+// Frechet returns the discrete Fréchet distance following the recurrence of
+// Equation 1:
+//
+//	F[i][j] = max(min(F[i-1][j], F[i][j-1], F[i-1][j-1]), d(a_i, b_j))
+//
+// Empty-side conventions match DTW.
+func Frechet(a, b geo.Trajectory) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	m := len(b)
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+
+	prev[0] = a[0].Dist(b[0])
+	for j := 1; j < m; j++ {
+		prev[j] = math.Max(prev[j-1], a[0].Dist(b[j]))
+	}
+	for i := 1; i < len(a); i++ {
+		cur[0] = math.Max(prev[0], a[i].Dist(b[0]))
+		for j := 1; j < m; j++ {
+			best := prev[j]
+			if prev[j-1] < best {
+				best = prev[j-1]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			d := a[i].Dist(b[j])
+			if d > best {
+				cur[j] = d
+			} else {
+				cur[j] = best
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1]
+}
+
+// Hausdorff returns the (symmetric) Hausdorff distance
+// max(h(a, b), h(b, a)) where h(a, b) = max_i min_j d(a_i, b_j).
+func Hausdorff(a, b geo.Trajectory) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	return math.Max(directedHausdorff(a, b), directedHausdorff(b, a))
+}
+
+func directedHausdorff(a, b geo.Trajectory) float64 {
+	var worst float64
+	for _, p := range a {
+		best := math.Inf(1)
+		for _, q := range b {
+			if d := p.SqDist(q); d < best {
+				best = d
+				if best == 0 {
+					break
+				}
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return math.Sqrt(worst)
+}
+
+// ERP returns the Edit distance with Real Penalty [17] using gap as the
+// reference point g: the cost of aligning a point against a gap is its
+// distance to g, making ERP a metric.
+func ERP(a, b geo.Trajectory, gap geo.Point) float64 {
+	n, m := len(a), len(b)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	prev[0] = 0
+	for j := 1; j <= m; j++ {
+		prev[j] = prev[j-1] + b[j-1].Dist(gap)
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = prev[0] + a[i-1].Dist(gap)
+		for j := 1; j <= m; j++ {
+			match := prev[j-1] + a[i-1].Dist(b[j-1])
+			delA := prev[j] + a[i-1].Dist(gap)
+			delB := cur[j-1] + b[j-1].Dist(gap)
+			cur[j] = math.Min(match, math.Min(delA, delB))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// EDR returns the Edit Distance on Real sequences: the minimum number of
+// edit operations to transform a into b, where two points "match" when both
+// coordinate differences are within eps.
+func EDR(a, b geo.Trajectory, eps float64) float64 {
+	n, m := len(a), len(b)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = float64(j)
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = float64(i)
+		for j := 1; j <= m; j++ {
+			var sub float64
+			if math.Abs(a[i-1].X-b[j-1].X) > eps || math.Abs(a[i-1].Y-b[j-1].Y) > eps {
+				sub = 1
+			}
+			cur[j] = math.Min(prev[j-1]+sub, math.Min(prev[j]+1, cur[j-1]+1))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// LCSS returns the Longest Common SubSequence dissimilarity: 1 − LCSS/min(n, m),
+// where two points match when both coordinate differences are within eps.
+// Like EDR it is robust to outliers; it is provided beyond the paper's
+// three evaluation distances because it is a standard member of this
+// literature's distance families.
+func LCSS(a, b geo.Trajectory, eps float64) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		if n == m {
+			return 0
+		}
+		return 1
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			if math.Abs(a[i-1].X-b[j-1].X) <= eps && math.Abs(a[i-1].Y-b[j-1].Y) <= eps {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	lcss := prev[m]
+	den := n
+	if m < n {
+		den = m
+	}
+	return 1 - float64(lcss)/float64(den)
+}
+
+// LowerBoundFirst returns the Euclidean distance between the first points of
+// a and b — by Lemma 1 a lower bound of both DTW(a, b) and Frechet(a, b).
+func LowerBoundFirst(a, b geo.Trajectory) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	return a.First().Dist(b.First())
+}
+
+// LowerBoundLast returns the Euclidean distance between the last points of
+// a and b, the symmetric lower bound of Lemma 1.
+func LowerBoundLast(a, b geo.Trajectory) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	return a.Last().Dist(b.Last())
+}
+
+// LowerBound returns the tighter of the first-point and last-point lower
+// bounds.
+func LowerBound(a, b geo.Trajectory) float64 {
+	return math.Max(LowerBoundFirst(a, b), LowerBoundLast(a, b))
+}

@@ -1,0 +1,384 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"traj2hash/internal/geo"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+// randTraj generates a random-walk trajectory with n points.
+func randTraj(rng *rand.Rand, n int) geo.Trajectory {
+	t := make(geo.Trajectory, n)
+	p := geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+	for i := 0; i < n; i++ {
+		p = p.Add(geo.Point{X: rng.NormFloat64(), Y: rng.NormFloat64()})
+		t[i] = p
+	}
+	return t
+}
+
+func TestDTWHandComputed(t *testing.T) {
+	// a = (0,0),(1,0); b = (0,0),(1,0),(2,0).
+	// Optimal path: match (0,0)-(0,0)=0, (1,0)-(1,0)=0, (1,0)-(2,0)=1. DTW=1.
+	a := geo.Trajectory{{X: 0}, {X: 1}}
+	b := geo.Trajectory{{X: 0}, {X: 1}, {X: 2}}
+	if got := DTW(a, b); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("DTW = %v, want 1", got)
+	}
+}
+
+func TestDTWIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randTraj(rng, 20)
+	if got := DTW(a, a); !almostEqual(got, 0, 1e-9) {
+		t.Errorf("DTW(a,a) = %v", got)
+	}
+}
+
+func TestDTWSinglePoints(t *testing.T) {
+	a := geo.Trajectory{{X: 0, Y: 0}}
+	b := geo.Trajectory{{X: 3, Y: 4}}
+	if got := DTW(a, b); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("DTW single = %v", got)
+	}
+	// One point vs many: sum of distances (every b point matches the single a point).
+	c := geo.Trajectory{{X: 3, Y: 4}, {X: 3, Y: 4}}
+	if got := DTW(a, c); !almostEqual(got, 10, 1e-12) {
+		t.Errorf("DTW 1-vs-2 = %v", got)
+	}
+}
+
+func TestDTWEmpty(t *testing.T) {
+	a := geo.Trajectory{{X: 1}}
+	if got := DTW(nil, a); !math.IsInf(got, 1) {
+		t.Errorf("DTW(nil,a) = %v", got)
+	}
+	if got := DTW(nil, nil); got != 0 {
+		t.Errorf("DTW(nil,nil) = %v", got)
+	}
+}
+
+func TestFrechetHandComputed(t *testing.T) {
+	// Parallel segments distance 1 apart: Frechet = 1.
+	a := geo.Trajectory{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}
+	b := geo.Trajectory{{X: 0, Y: 1}, {X: 1, Y: 1}, {X: 2, Y: 1}}
+	if got := Frechet(a, b); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Frechet = %v, want 1", got)
+	}
+}
+
+func TestFrechetVsMaxPointwise(t *testing.T) {
+	// For equal-length aligned trajectories, Frechet <= max pointwise distance.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		a := randTraj(rng, 15)
+		b := randTraj(rng, 15)
+		var maxPt float64
+		for i := range a {
+			if d := a[i].Dist(b[i]); d > maxPt {
+				maxPt = d
+			}
+		}
+		if got := Frechet(a, b); got > maxPt+1e-9 {
+			t.Errorf("Frechet %v exceeds aligned max %v", got, maxPt)
+		}
+	}
+}
+
+func TestHausdorffHandComputed(t *testing.T) {
+	a := geo.Trajectory{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	b := geo.Trajectory{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 5}}
+	// h(a,b)=0 (all a points in b); h(b,a)=5 from (1,5) to (1,0).
+	if got := Hausdorff(a, b); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Hausdorff = %v, want 5", got)
+	}
+}
+
+func TestHausdorffSubsetZero(t *testing.T) {
+	a := geo.Trajectory{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	if got := Hausdorff(a, a.Reverse()); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("Hausdorff(a, reverse(a)) = %v", got)
+	}
+}
+
+func TestERPHandComputed(t *testing.T) {
+	// ERP with gap at origin; a = (1,0); b = empty: cost = |a - gap| = 1.
+	a := geo.Trajectory{{X: 1, Y: 0}}
+	if got := ERP(a, nil, geo.Point{}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("ERP vs empty = %v", got)
+	}
+	// Identical trajectories: 0.
+	b := geo.Trajectory{{X: 1, Y: 0}, {X: 2, Y: 0}}
+	if got := ERP(b, b, geo.Point{}); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("ERP identical = %v", got)
+	}
+}
+
+func TestERPTriangleInequality(t *testing.T) {
+	// ERP is a metric; check the triangle inequality on random triples.
+	rng := rand.New(rand.NewSource(3))
+	gap := geo.Point{}
+	for trial := 0; trial < 30; trial++ {
+		a := randTraj(rng, 5+rng.Intn(8))
+		b := randTraj(rng, 5+rng.Intn(8))
+		c := randTraj(rng, 5+rng.Intn(8))
+		ab := ERP(a, b, gap)
+		bc := ERP(b, c, gap)
+		ac := ERP(a, c, gap)
+		if ac > ab+bc+1e-9 {
+			t.Errorf("triangle violated: %v > %v + %v", ac, ab, bc)
+		}
+	}
+}
+
+func TestEDRHandComputed(t *testing.T) {
+	a := geo.Trajectory{{X: 0}, {X: 10}}
+	b := geo.Trajectory{{X: 0}}
+	// (0) matches (0), then one deletion.
+	if got := EDR(a, b, 0.5); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("EDR = %v, want 1", got)
+	}
+	if got := EDR(a, a, 0.5); got != 0 {
+		t.Errorf("EDR identical = %v", got)
+	}
+}
+
+func TestEDRBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n, m := 3+rng.Intn(10), 3+rng.Intn(10)
+		a := randTraj(rng, n)
+		b := randTraj(rng, m)
+		got := EDR(a, b, 1.0)
+		lo := math.Abs(float64(n - m))
+		hi := float64(max(n, m))
+		if got < lo-1e-9 || got > hi+1e-9 {
+			t.Errorf("EDR %v outside [%v, %v]", got, lo, hi)
+		}
+	}
+}
+
+func TestLCSSHandComputed(t *testing.T) {
+	a := geo.Trajectory{{X: 0}, {X: 1}, {X: 2}}
+	b := geo.Trajectory{{X: 0}, {X: 1}, {X: 9}}
+	// LCSS length 2, min length 3: dissimilarity 1 - 2/3.
+	if got := LCSS(a, b, 0.5); !almostEqual(got, 1.0/3.0, 1e-12) {
+		t.Errorf("LCSS = %v", got)
+	}
+	if got := LCSS(a, a, 0.5); got != 0 {
+		t.Errorf("LCSS identical = %v", got)
+	}
+}
+
+func TestLCSSProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 50; trial++ {
+		p := genPair(rng)
+		v := LCSS(p.a, p.b, 1.0)
+		if v < 0 || v > 1 {
+			t.Fatalf("LCSS out of [0,1]: %v", v)
+		}
+		// Symmetry.
+		if w := LCSS(p.b, p.a, 1.0); !almostEqual(v, w, 1e-12) {
+			t.Fatalf("LCSS asymmetric: %v vs %v", v, w)
+		}
+		// Monotone in eps: a larger threshold can only match more.
+		if wide := LCSS(p.a, p.b, 5.0); wide > v+1e-12 {
+			t.Fatalf("LCSS not monotone in eps: %v (eps=1) vs %v (eps=5)", v, wide)
+		}
+	}
+	// Empty-side conventions.
+	if got := LCSS(nil, nil, 1); got != 0 {
+		t.Errorf("LCSS(nil,nil) = %v", got)
+	}
+	if got := LCSS(nil, geo.Trajectory{{X: 1}}, 1); got != 1 {
+		t.Errorf("LCSS(nil,a) = %v", got)
+	}
+}
+
+func TestCDTWMatchesDTWWideBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		a := randTraj(rng, 10+rng.Intn(10))
+		b := randTraj(rng, 10+rng.Intn(10))
+		w := len(a) + len(b) // band wider than the matrix: exact DTW
+		if got, want := CDTW(a, b, w), DTW(a, b); !almostEqual(got, want, 1e-9) {
+			t.Errorf("CDTW wide band %v != DTW %v", got, want)
+		}
+	}
+}
+
+func TestCDTWUpperBoundsDTW(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		a := randTraj(rng, 20)
+		b := randTraj(rng, 20)
+		exact := DTW(a, b)
+		for _, w := range []int{1, 3, 5} {
+			if got := CDTW(a, b, w); got < exact-1e-9 {
+				t.Errorf("CDTW(w=%d) %v below exact %v", w, got, exact)
+			}
+		}
+	}
+}
+
+func TestCDTWEmpty(t *testing.T) {
+	if got := CDTW(nil, nil, 1); got != 0 {
+		t.Errorf("CDTW(nil,nil) = %v", got)
+	}
+	if got := CDTW(nil, geo.Trajectory{{X: 1}}, 1); !math.IsInf(got, 1) {
+		t.Errorf("CDTW(nil,a) = %v", got)
+	}
+}
+
+// --- property tests for the paper's lemmas ---
+
+type trajPair struct{ a, b geo.Trajectory }
+
+func genPair(rng *rand.Rand) trajPair {
+	return trajPair{
+		a: randTraj(rng, 2+rng.Intn(20)),
+		b: randTraj(rng, 2+rng.Intn(20)),
+	}
+}
+
+// TestLemma1LowerBound checks d(first points) <= DTW and Frechet, and the
+// same for last points (Lemma 1).
+func TestLemma1LowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		p := genPair(rng)
+		lbF := LowerBoundFirst(p.a, p.b)
+		lbL := LowerBoundLast(p.a, p.b)
+		lb := LowerBound(p.a, p.b)
+		dtw := DTW(p.a, p.b)
+		fr := Frechet(p.a, p.b)
+		if lbF > dtw+1e-9 || lbL > dtw+1e-9 || lb > dtw+1e-9 {
+			t.Fatalf("trial %d: lower bound (%v,%v) exceeds DTW %v", trial, lbF, lbL, dtw)
+		}
+		if lbF > fr+1e-9 || lbL > fr+1e-9 {
+			t.Fatalf("trial %d: lower bound exceeds Frechet %v", trial, fr)
+		}
+	}
+}
+
+// TestLemma2ReverseSymmetry checks D(a, b) == D(reverse(a), reverse(b)) for
+// DTW, Frechet, and Hausdorff (Lemma 2).
+func TestLemma2ReverseSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		p := genPair(rng)
+		ar, br := p.a.Reverse(), p.b.Reverse()
+		for _, f := range []Func{DTWDist, FrechetDist, HausdorffDist} {
+			if !ReverseSymmetric(f) {
+				t.Fatalf("%v should report reverse symmetric", f)
+			}
+			fwd := Distance(f, p.a, p.b)
+			rev := Distance(f, ar, br)
+			if !almostEqual(fwd, rev, 1e-9*math.Max(1, fwd)) {
+				t.Fatalf("trial %d %v: forward %v != reversed %v", trial, f, fwd, rev)
+			}
+		}
+	}
+}
+
+// TestSymmetry checks D(a, b) == D(b, a) for all distance functions.
+func TestSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		p := genPair(rng)
+		for _, f := range []Func{DTWDist, FrechetDist, HausdorffDist, ERPDist, EDRDist} {
+			ab := Distance(f, p.a, p.b)
+			ba := Distance(f, p.b, p.a)
+			if !almostEqual(ab, ba, 1e-9*math.Max(1, ab)) {
+				t.Fatalf("trial %d %v: %v != %v", trial, f, ab, ba)
+			}
+		}
+	}
+}
+
+// TestIdentity checks D(a, a) == 0 for all distance functions.
+func TestIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 50; trial++ {
+		a := randTraj(rng, 2+rng.Intn(20))
+		for _, f := range []Func{DTWDist, FrechetDist, HausdorffDist, ERPDist, EDRDist} {
+			if got := Distance(f, a, a); !almostEqual(got, 0, 1e-9) {
+				t.Fatalf("%v(a,a) = %v", f, got)
+			}
+		}
+	}
+}
+
+// TestFrechetDominatesHausdorff: Hausdorff(a,b) <= Frechet(a,b) always.
+func TestFrechetDominatesHausdorff(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		p := genPair(rng)
+		h := Hausdorff(p.a, p.b)
+		f := Frechet(p.a, p.b)
+		if h > f+1e-9 {
+			t.Fatalf("trial %d: Hausdorff %v > Frechet %v", trial, h, f)
+		}
+	}
+}
+
+// TestFrechetNonNegativeAndAchieved: Frechet equals some pointwise distance.
+func TestFrechetIsAPointDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		p := genPair(rng)
+		f := Frechet(p.a, p.b)
+		found := false
+		for _, u := range p.a {
+			for _, v := range p.b {
+				if almostEqual(u.Dist(v), f, 1e-9) {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("Frechet %v not a pointwise distance", f)
+		}
+	}
+}
+
+func TestParseFunc(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Func
+	}{{"dtw", DTWDist}, {"DTW", DTWDist}, {"frechet", FrechetDist}, {"hausdorff", HausdorffDist}, {"erp", ERPDist}, {"edr", EDRDist}} {
+		got, err := ParseFunc(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseFunc(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseFunc("nope"); err == nil {
+		t.Error("ParseFunc accepted unknown name")
+	}
+}
+
+func TestFuncString(t *testing.T) {
+	if DTWDist.String() != "DTW" || FrechetDist.String() != "Frechet" || HausdorffDist.String() != "Hausdorff" {
+		t.Error("unexpected Func names")
+	}
+	if Func(99).String() == "" {
+		t.Error("unknown Func should still format")
+	}
+}
+
+func TestQuickLowerBoundNeverNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := genPair(rng)
+		return LowerBound(p.a, p.b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

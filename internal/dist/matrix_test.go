@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"traj2hash/internal/geo"
+)
+
+func TestMatrixSymmetricZeroDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	ts := make([]geo.Trajectory, 12)
+	for i := range ts {
+		ts[i] = randTraj(rng, 5+rng.Intn(10))
+	}
+	d := Matrix(DTWDist, ts)
+	for i := range d {
+		if d[i][i] != 0 {
+			t.Errorf("diagonal [%d][%d] = %v", i, i, d[i][i])
+		}
+		for j := range d {
+			if d[i][j] != d[j][i] {
+				t.Errorf("asymmetric at (%d,%d): %v vs %v", i, j, d[i][j], d[j][i])
+			}
+		}
+	}
+}
+
+func TestMatrixMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ts := make([]geo.Trajectory, 8)
+	for i := range ts {
+		ts[i] = randTraj(rng, 6)
+	}
+	par := MatrixWorkers(FrechetDist, ts, 4)
+	seq := MatrixWorkers(FrechetDist, ts, 1)
+	for i := range par {
+		for j := range par {
+			if par[i][j] != seq[i][j] {
+				t.Errorf("parallel != sequential at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixWorkersClamped(t *testing.T) {
+	ts := []geo.Trajectory{{{X: 0}}, {{X: 1}}}
+	d := MatrixWorkers(DTWDist, ts, 0) // clamps to 1
+	if d[0][1] != 1 {
+		t.Errorf("d[0][1] = %v", d[0][1])
+	}
+}
+
+func TestCrossMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	qs := []geo.Trajectory{randTraj(rng, 5), randTraj(rng, 7)}
+	ts := []geo.Trajectory{randTraj(rng, 6), randTraj(rng, 4), randTraj(rng, 9)}
+	out := CrossMatrix(DTWDist, qs, ts)
+	if len(out) != 2 || len(out[0]) != 3 {
+		t.Fatalf("shape = %dx%d", len(out), len(out[0]))
+	}
+	for i := range qs {
+		for j := range ts {
+			if want := DTW(qs[i], ts[j]); out[i][j] != want {
+				t.Errorf("out[%d][%d] = %v, want %v", i, j, out[i][j], want)
+			}
+		}
+	}
+}
+
+func TestSimilarityRangeAndOrder(t *testing.T) {
+	d := [][]float64{
+		{0, 1, 4},
+		{1, 0, 2},
+		{4, 2, 0},
+	}
+	s := Similarity(d, 0.5)
+	for i := range s {
+		if !almostEqual(s[i][i], 1, 1e-12) {
+			t.Errorf("diagonal similarity = %v", s[i][i])
+		}
+		for j := range s {
+			if s[i][j] < 0 || s[i][j] > 1+1e-12 {
+				t.Errorf("similarity out of range: %v", s[i][j])
+			}
+		}
+	}
+	// Larger distance => smaller similarity.
+	if !(s[0][1] > s[0][2]) {
+		t.Errorf("order not preserved: %v vs %v", s[0][1], s[0][2])
+	}
+}
+
+func TestSimilarityInfinityRobust(t *testing.T) {
+	d := [][]float64{{0, math.Inf(1)}, {math.Inf(1), 0}}
+	s := Similarity(d, 1)
+	if s[0][1] != 0 {
+		t.Errorf("similarity of Inf distance = %v", s[0][1])
+	}
+	if math.IsNaN(s[0][0]) {
+		t.Error("NaN in similarity")
+	}
+}
+
+func TestMeanOffDiagonal(t *testing.T) {
+	d := [][]float64{
+		{0, 2, 4},
+		{2, 0, 6},
+		{4, 6, 0},
+	}
+	if got := MeanOffDiagonal(d); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("MeanOffDiagonal = %v", got)
+	}
+	if got := MeanOffDiagonal(nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := MeanOffDiagonal([][]float64{{5}}); got != 0 {
+		t.Errorf("1x1 = %v", got)
+	}
+}

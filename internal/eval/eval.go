@@ -1,0 +1,105 @@
+// Package eval implements the evaluation protocol of Section V-A: exact
+// top-k ground truth under a trajectory distance function, and the three
+// retrieval metrics HR@10, HR@50, and R10@50.
+package eval
+
+import (
+	"sort"
+
+	"traj2hash/internal/dist"
+	"traj2hash/internal/geo"
+)
+
+// TopK returns the indices of the k smallest values in row, ties broken by
+// index. k is clamped to len(row).
+func TopK(row []float64, k int) []int {
+	idx := make([]int, len(row))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if row[idx[a]] != row[idx[b]] {
+			return row[idx[a]] < row[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// GroundTruth computes, for each query, the exact top-k database indices
+// under distance function f.
+func GroundTruth(f dist.Func, queries, db []geo.Trajectory, k int) [][]int {
+	m := dist.CrossMatrix(f, queries, db)
+	out := make([][]int, len(queries))
+	for i, row := range m {
+		out[i] = TopK(row, k)
+	}
+	return out
+}
+
+// HitRatio returns HR@k: the mean overlap between the first k entries of
+// each returned list and the first k entries of the ground truth
+// (|returned_k ∩ truth_k| / k), averaged over queries.
+func HitRatio(returned, truth [][]int, k int) float64 {
+	if len(returned) == 0 {
+		return 0
+	}
+	var total float64
+	for q := range returned {
+		total += overlap(clampK(returned[q], k), clampK(truth[q], k)) / float64(k)
+	}
+	return total / float64(len(returned))
+}
+
+// Recall returns R{kTruth}@{kReturned}: the fraction of the top-kTruth
+// ground truth covered by the top-kReturned results, averaged over queries.
+// R10@50 is Recall(returned, truth, 50, 10).
+func Recall(returned, truth [][]int, kReturned, kTruth int) float64 {
+	if len(returned) == 0 {
+		return 0
+	}
+	var total float64
+	for q := range returned {
+		total += overlap(clampK(returned[q], kReturned), clampK(truth[q], kTruth)) / float64(kTruth)
+	}
+	return total / float64(len(returned))
+}
+
+func clampK(ids []int, k int) []int {
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}
+
+func overlap(a, b []int) float64 {
+	set := make(map[int]struct{}, len(a))
+	for _, v := range a {
+		set[v] = struct{}{}
+	}
+	var n float64
+	for _, v := range b {
+		if _, ok := set[v]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Metrics bundles the three retrieval metrics of Section V-A4.
+type Metrics struct {
+	HR10, HR50, R10At50 float64
+}
+
+// Evaluate computes HR@10, HR@50, and R10@50 from returned lists (each at
+// least 50 long where possible) and exact ground truth (same).
+func Evaluate(returned, truth [][]int) Metrics {
+	return Metrics{
+		HR10:    HitRatio(returned, truth, 10),
+		HR50:    HitRatio(returned, truth, 50),
+		R10At50: Recall(returned, truth, 50, 10),
+	}
+}

@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"traj2hash/internal/dist"
+	"traj2hash/internal/geo"
+)
+
+func TestTopK(t *testing.T) {
+	row := []float64{5, 1, 3, 1, 4}
+	got := TopK(row, 3)
+	want := []int{1, 3, 2} // ties (indices 1, 3) break by index
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+	if got := TopK(row, 100); len(got) != 5 {
+		t.Errorf("clamped TopK len = %d", len(got))
+	}
+	if got := TopK(nil, 3); len(got) != 0 {
+		t.Errorf("empty TopK = %v", got)
+	}
+}
+
+func TestHitRatioPerfectAndDisjoint(t *testing.T) {
+	truth := [][]int{{1, 2, 3}, {4, 5, 6}}
+	if got := HitRatio(truth, truth, 3); got != 1 {
+		t.Errorf("perfect HR = %v", got)
+	}
+	disjoint := [][]int{{7, 8, 9}, {10, 11, 12}}
+	if got := HitRatio(disjoint, truth, 3); got != 0 {
+		t.Errorf("disjoint HR = %v", got)
+	}
+	if got := HitRatio(nil, nil, 3); got != 0 {
+		t.Errorf("empty HR = %v", got)
+	}
+}
+
+func TestHitRatioPartial(t *testing.T) {
+	truth := [][]int{{1, 2, 3, 4}}
+	ret := [][]int{{1, 2, 9, 8}}
+	if got := HitRatio(ret, truth, 4); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("HR = %v, want 0.5", got)
+	}
+	// Only the first k entries count.
+	ret2 := [][]int{{9, 8, 7, 6, 1, 2, 3, 4}}
+	if got := HitRatio(ret2, truth, 4); got != 0 {
+		t.Errorf("HR beyond k = %v", got)
+	}
+}
+
+func TestRecallR10At50(t *testing.T) {
+	// Truth top-10 = 0..9; returned top-50 covers 7 of them.
+	truth := make([][]int, 1)
+	truth[0] = seq(0, 60)
+	ret := [][]int{append(seq(3, 50), 100, 101, 102)}
+	got := Recall(ret, truth, 50, 10)
+	if math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("R10@50 = %v, want 0.7", got)
+	}
+}
+
+func seq(lo, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+func TestEvaluateAgainstSelf(t *testing.T) {
+	truth := make([][]int, 3)
+	for i := range truth {
+		truth[i] = seq(i*100, 60)
+	}
+	m := Evaluate(truth, truth)
+	if m.HR10 != 1 || m.HR50 != 1 || m.R10At50 != 1 {
+		t.Errorf("self metrics = %+v", m)
+	}
+}
+
+func TestGroundTruthMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func(n int) geo.Trajectory {
+		tr := make(geo.Trajectory, n)
+		p := geo.Point{}
+		for i := range tr {
+			p = p.Add(geo.Point{X: rng.NormFloat64(), Y: rng.NormFloat64()})
+			tr[i] = p
+		}
+		return tr
+	}
+	queries := []geo.Trajectory{mk(8), mk(12)}
+	db := make([]geo.Trajectory, 20)
+	for i := range db {
+		db[i] = mk(5 + rng.Intn(10))
+	}
+	gt := GroundTruth(dist.DTWDist, queries, db, 5)
+	for qi, q := range queries {
+		// Manual brute force.
+		ds := make([]float64, len(db))
+		for i, d := range db {
+			ds[i] = dist.DTW(q, d)
+		}
+		want := TopK(ds, 5)
+		for i := range want {
+			if gt[qi][i] != want[i] {
+				t.Fatalf("query %d: gt %v, want %v", qi, gt[qi], want)
+			}
+		}
+	}
+}
+
+func TestMetricsMonotoneInNoise(t *testing.T) {
+	// Property: corrupting more of the returned list cannot raise HR@k.
+	rng := rand.New(rand.NewSource(2))
+	truth := [][]int{seq(0, 50)}
+	prev := 1.0
+	for corrupt := 0; corrupt <= 50; corrupt += 10 {
+		ret := [][]int{append([]int(nil), truth[0]...)}
+		for i := 0; i < corrupt; i++ {
+			ret[0][i] = 1000 + rng.Intn(1000)
+		}
+		hr := HitRatio(ret, truth, 50)
+		if hr > prev+1e-12 {
+			t.Errorf("HR increased with corruption: %v -> %v", prev, hr)
+		}
+		prev = hr
+	}
+}

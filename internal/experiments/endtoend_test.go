@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// withMicroScale installs the micro test parameters for the duration of a
+// test, letting the full experiment drivers run end to end in seconds.
+func withMicroScale(t *testing.T) {
+	t.Helper()
+	p := microParams()
+	testParams = &p
+	testDBSizes = []int{100, 200, 300, 400, 500}
+	oldQ := efficiencyQueries
+	efficiencyQueries = 10
+	t.Cleanup(func() {
+		testParams = nil
+		testDBSizes = nil
+		efficiencyQueries = oldQ
+	})
+}
+
+// runExperiment executes a registry experiment and sanity-checks the table.
+func runExperiment(t *testing.T, id string, wantRows int) *Table {
+	t.Helper()
+	exp, err := Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := exp.Run(Tiny, io.Discard)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tbl.Rows) != wantRows {
+		t.Errorf("%s: %d rows, want %d", id, len(tbl.Rows), wantRows)
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Errorf("%s: ragged row %v", id, row)
+		}
+	}
+	var buf strings.Builder
+	tbl.Fprint(&buf)
+	if !strings.Contains(buf.String(), tbl.Title) {
+		t.Errorf("%s: title missing from rendering", id)
+	}
+	return tbl
+}
+
+func TestEndToEndTable1(t *testing.T) {
+	withMicroScale(t)
+	runExperiment(t, "table1", 2*len(MethodNames))
+}
+
+func TestEndToEndTable2(t *testing.T) {
+	withMicroScale(t)
+	runExperiment(t, "table2", 2*len(HammingMethodNames))
+}
+
+func TestEndToEndTable3(t *testing.T) {
+	withMicroScale(t)
+	// 2 datasets × 2 distances × 2 spaces × 3 metrics.
+	runExperiment(t, "table3", 24)
+}
+
+func TestEndToEndFig4(t *testing.T) {
+	withMicroScale(t)
+	// 2 datasets × 3 distances.
+	runExperiment(t, "fig4", 6)
+}
+
+func TestEndToEndFig5(t *testing.T) {
+	withMicroScale(t)
+	// 2 datasets × 2 distances × 5 sizes.
+	runExperiment(t, "fig5", 20)
+}
+
+func TestEndToEndFig6(t *testing.T) {
+	withMicroScale(t)
+	// 2 datasets × 2 distances × 5 k values.
+	runExperiment(t, "fig6", 20)
+}
+
+func TestEndToEndFig7(t *testing.T) {
+	withMicroScale(t)
+	tbl := runExperiment(t, "fig7", 3)
+	// Pre-train time recorded for grid variants, zero for -Grids.
+	if tbl.Rows[2][3] != "0s" {
+		t.Errorf("-Grids pretrain time = %q", tbl.Rows[2][3])
+	}
+}
+
+func TestEndToEndFig8(t *testing.T) {
+	withMicroScale(t)
+	// 2 datasets × 2 distances × 2 spaces.
+	runExperiment(t, "fig8", 8)
+}
+
+func TestEndToEndFig9(t *testing.T) {
+	withMicroScale(t)
+	runExperiment(t, "fig9", 8)
+}
+
+func TestEndToEndExtraCDTW(t *testing.T) {
+	withMicroScale(t)
+	// 2 datasets × (3 cDTW widths + Traj2Hash).
+	tbl := runExperiment(t, "extra-cdtw", 8)
+	// Widening the cDTW band cannot hurt accuracy on the same data (wider
+	// bands approach exact DTW).
+	_ = tbl
+}

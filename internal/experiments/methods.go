@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"traj2hash/internal/baselines"
+	"traj2hash/internal/core"
+	"traj2hash/internal/dist"
+	"traj2hash/internal/geo"
+	"traj2hash/internal/hamming"
+)
+
+// MethodNames lists the Euclidean-space competitors of Table I in the
+// paper's row order.
+var MethodNames = []string{
+	"t2vec", "CL-TSim", "NT-No-SAM", "NeuTraj", "Transformer", "TrajGAT", "Traj2Hash",
+}
+
+// HammingMethodNames adds Fresh for Table II (Section V-A3).
+var HammingMethodNames = []string{
+	"t2vec", "CL-TSim", "NT-No-SAM", "NeuTraj", "Transformer", "TrajGAT", "Fresh", "Traj2Hash",
+}
+
+// Trained is a trained method ready to embed and/or hash trajectories.
+type Trained struct {
+	Name string
+	// EmbedAll produces Euclidean-space embeddings (nil for Fresh, which
+	// has no dense representation).
+	EmbedAll func([]geo.Trajectory) [][]float64
+	// CodeAll produces Hamming-space codes. For neural baselines this is
+	// only available after AttachHashAdapter.
+	CodeAll func([]geo.Trajectory) []hamming.Code
+
+	enc baselines.Encoder // non-nil for neural baselines
+}
+
+// DistanceAgnostic reports whether the method trains without the target
+// distance (t2vec and CL-TSim), so one training serves all three distances.
+func DistanceAgnostic(name string) bool {
+	return name == "t2vec" || name == "CL-TSim" || name == "Fresh"
+}
+
+// TrainMethod trains the named method on the environment for distance f.
+func TrainMethod(name string, env *Env, f dist.Func) (*Trained, error) {
+	p := env.Params
+	ds := env.Dataset
+	space := ds.All()
+	switch name {
+	case "Traj2Hash":
+		cfg := p.CoreConfig()
+		m, err := core.New(cfg, space)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m.Train(core.TrainData{
+			Seeds: ds.Seeds, Validation: ds.Validation, Corpus: ds.Corpus, F: f,
+		}); err != nil {
+			return nil, err
+		}
+		return &Trained{Name: name, EmbedAll: m.EmbedAll, CodeAll: m.CodeAll}, nil
+
+	case "Fresh":
+		fr := baselines.NewFresh(1000, 4, 16, p.Seed)
+		return &Trained{Name: name, CodeAll: fr.CodeAll}, nil
+
+	case "t2vec":
+		bc := p.BaseConfig()
+		t2v, err := baselines.NewT2Vec(bc, space, 400)
+		if err != nil {
+			return nil, err
+		}
+		corpus := append(append([]geo.Trajectory{}, ds.Seeds...), ds.Corpus...)
+		t2v.Train(corpus, bc.Epochs)
+		return newNeural(t2v), nil
+
+	case "CL-TSim":
+		bc := p.BaseConfig()
+		cl := baselines.NewCLTSim(bc, space)
+		corpus := append(append([]geo.Trajectory{}, ds.Seeds...), ds.Corpus...)
+		cl.Train(corpus, bc.Epochs)
+		return newNeural(cl), nil
+
+	case "NeuTraj", "NT-No-SAM", "Transformer", "TrajGAT":
+		bc := p.BaseConfig()
+		var enc baselines.Encoder
+		var err error
+		switch name {
+		case "NeuTraj":
+			enc, err = baselines.NewNeuTraj(bc, space)
+		case "NT-No-SAM":
+			enc, err = baselines.NewNTNoSAM(bc, space)
+		case "Transformer":
+			enc = baselines.NewTransformer(bc, space)
+		case "TrajGAT":
+			enc = baselines.NewTrajGAT(bc, space)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if _, err := baselines.TrainWMSE(enc, bc, ds.Seeds, ds.Validation, f); err != nil {
+			return nil, err
+		}
+		return newNeural(enc), nil
+
+	default:
+		return nil, fmt.Errorf("experiments: unknown method %q", name)
+	}
+}
+
+func newNeural(enc baselines.Encoder) *Trained {
+	return &Trained{
+		Name:     enc.Name(),
+		EmbedAll: func(ts []geo.Trajectory) [][]float64 { return baselines.EmbedAll(enc, ts) },
+		enc:      enc,
+	}
+}
+
+// AttachHashAdapter fits the Table II linear hash head on a trained neural
+// baseline (no-op for methods that hash natively).
+func (t *Trained) AttachHashAdapter(env *Env, f dist.Func, bits int) error {
+	if t.CodeAll != nil {
+		return nil // Traj2Hash and Fresh hash natively
+	}
+	if t.enc == nil {
+		return fmt.Errorf("experiments: %s has no encoder to adapt", t.Name)
+	}
+	ad := baselines.NewHashAdapter(t.enc, bits, 5, env.Params.Seed)
+	cfg := baselines.DefaultAdapterConfig()
+	cfg.Epochs = env.Params.AdEpochs
+	cfg.M = env.Params.M
+	if err := ad.Train(cfg, env.Dataset.Seeds, f); err != nil {
+		return err
+	}
+	t.CodeAll = ad.CodeAll
+	return nil
+}

@@ -1,0 +1,61 @@
+package geo
+
+import "math"
+
+// Simplify returns the trajectory simplified with the Douglas–Peucker
+// algorithm at the given tolerance (meters): the minimal subsequence whose
+// maximum perpendicular deviation from the original polyline is at most
+// tolerance. Endpoints are always kept. A common preprocessing step when
+// importing dense GPS traces (the trajectory-compression line of work the
+// paper cites as [7], [8]).
+func (t Trajectory) Simplify(tolerance float64) Trajectory {
+	if len(t) <= 2 || tolerance <= 0 {
+		return t.Clone()
+	}
+	keep := make([]bool, len(t))
+	keep[0] = true
+	keep[len(t)-1] = true
+	type span struct{ lo, hi int }
+	stack := []span{{0, len(t) - 1}}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.hi-s.lo < 2 {
+			continue
+		}
+		// Farthest interior point from the chord lo→hi.
+		var worst float64
+		worstIdx := -1
+		for i := s.lo + 1; i < s.hi; i++ {
+			d := perpendicularDistance(t[i], t[s.lo], t[s.hi])
+			if d > worst {
+				worst = d
+				worstIdx = i
+			}
+		}
+		if worst > tolerance {
+			keep[worstIdx] = true
+			stack = append(stack, span{s.lo, worstIdx}, span{worstIdx, s.hi})
+		}
+	}
+	out := make(Trajectory, 0, len(t))
+	for i, k := range keep {
+		if k {
+			out = append(out, t[i])
+		}
+	}
+	return out
+}
+
+// perpendicularDistance returns the distance from p to the segment a–b
+// (the distance to the nearer endpoint when the projection falls outside).
+func perpendicularDistance(p, a, b Point) float64 {
+	ab := b.Sub(a)
+	len2 := ab.X*ab.X + ab.Y*ab.Y
+	if len2 == 0 {
+		return p.Dist(a)
+	}
+	tt := ((p.X-a.X)*ab.X + (p.Y-a.Y)*ab.Y) / len2
+	tt = math.Max(0, math.Min(1, tt))
+	return p.Dist(a.Add(ab.Scale(tt)))
+}

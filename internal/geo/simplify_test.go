@@ -1,0 +1,113 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifyStraightLine(t *testing.T) {
+	// Collinear points collapse to the endpoints.
+	tr := Trajectory{{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}}
+	s := tr.Simplify(0.1)
+	if len(s) != 2 || s[0] != tr[0] || s[1] != tr[4] {
+		t.Errorf("Simplify = %v", s)
+	}
+}
+
+func TestSimplifyKeepsCorners(t *testing.T) {
+	tr := Trajectory{{0, 0}, {5, 0}, {5, 5}}
+	s := tr.Simplify(0.5)
+	if len(s) != 3 {
+		t.Fatalf("corner dropped: %v", s)
+	}
+	if s[1] != (Point{5, 0}) {
+		t.Errorf("wrong corner kept: %v", s[1])
+	}
+}
+
+func TestSimplifyToleranceBound(t *testing.T) {
+	// Every original point stays within tolerance of the simplified
+	// polyline.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		tr := make(Trajectory, 30)
+		p := Point{}
+		for i := range tr {
+			p = p.Add(Point{rng.NormFloat64() * 10, rng.NormFloat64() * 10})
+			tr[i] = p
+		}
+		tol := 5.0
+		s := tr.Simplify(tol)
+		if len(s) < 2 {
+			t.Fatal("simplified below 2 points")
+		}
+		if s[0] != tr[0] || s[len(s)-1] != tr[len(tr)-1] {
+			t.Fatal("endpoints not preserved")
+		}
+		for _, q := range tr {
+			best := 1e18
+			for i := 0; i+1 < len(s); i++ {
+				if d := perpendicularDistance(q, s[i], s[i+1]); d < best {
+					best = d
+				}
+			}
+			if best > tol+1e-9 {
+				t.Fatalf("trial %d: point %v deviates %v > %v", trial, q, best, tol)
+			}
+		}
+	}
+}
+
+func TestSimplifyMonotoneInTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := make(Trajectory, 50)
+	p := Point{}
+	for i := range tr {
+		p = p.Add(Point{rng.NormFloat64() * 10, rng.NormFloat64() * 10})
+		tr[i] = p
+	}
+	prev := len(tr) + 1
+	for _, tol := range []float64{0.5, 2, 8, 32} {
+		n := len(tr.Simplify(tol))
+		if n > prev {
+			t.Errorf("tolerance %v kept %d > previous %d", tol, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestSimplifyDegenerate(t *testing.T) {
+	short := Trajectory{{0, 0}, {1, 1}}
+	if got := short.Simplify(1); len(got) != 2 {
+		t.Errorf("short = %v", got)
+	}
+	// Zero tolerance returns a copy unchanged.
+	tr := Trajectory{{0, 0}, {1, 5}, {2, 0}}
+	got := tr.Simplify(0)
+	if len(got) != 3 {
+		t.Errorf("zero tolerance = %v", got)
+	}
+	got[0] = Point{9, 9}
+	if tr[0] == (Point{9, 9}) {
+		t.Error("Simplify shares storage with receiver")
+	}
+	// Duplicate points (zero-length chord).
+	dup := Trajectory{{1, 1}, {1, 1}, {1, 1}}
+	if got := dup.Simplify(0.5); len(got) != 2 {
+		t.Errorf("duplicates = %v", got)
+	}
+}
+
+func TestPerpendicularDistance(t *testing.T) {
+	if d := perpendicularDistance(Point{0, 1}, Point{-1, 0}, Point{1, 0}); !almostEqual(d, 1, 1e-12) {
+		t.Errorf("above segment = %v", d)
+	}
+	// Beyond the endpoint: distance to the endpoint, not the line.
+	if d := perpendicularDistance(Point{3, 0}, Point{-1, 0}, Point{1, 0}); !almostEqual(d, 2, 1e-12) {
+		t.Errorf("beyond endpoint = %v", d)
+	}
+	// Degenerate segment.
+	if d := perpendicularDistance(Point{3, 4}, Point{0, 0}, Point{0, 0}); !almostEqual(d, 5, 1e-12) {
+		t.Errorf("degenerate = %v", d)
+	}
+}

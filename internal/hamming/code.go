@@ -1,0 +1,118 @@
+// Package hamming provides packed binary codes, Hamming distance, and the
+// hash-table search machinery of Section V-E: brute-force Hamming scan,
+// table lookup with radius expansion, and the Hamming-Hybrid strategy that
+// falls back to brute force when the radius-2 neighborhood holds fewer than
+// k candidates.
+package hamming
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Code is a packed binary hash code of fixed bit length. Bit i lives in
+// word i/64 at position i%64. A set bit corresponds to sign value +1, a
+// clear bit to −1 (the ±1 convention of Equation 16).
+type Code struct {
+	Bits  int
+	Words []uint64
+}
+
+// NewCode returns an all-clear code of the given bit length.
+func NewCode(bits int) Code {
+	if bits <= 0 {
+		panic(fmt.Sprintf("hamming: invalid bit length %d", bits))
+	}
+	return Code{Bits: bits, Words: make([]uint64, (bits+63)/64)}
+}
+
+// FromSigns packs a ±1 vector (any value > 0 counts as +1, the sign
+// convention of Equation 16: sign(x)=1 if x>0 else −1) into a code.
+func FromSigns(v []float64) Code {
+	c := NewCode(len(v))
+	for i, x := range v {
+		if x > 0 {
+			c.Words[i/64] |= 1 << (i % 64)
+		}
+	}
+	return c
+}
+
+// Signs unpacks the code back into a ±1 float vector.
+func (c Code) Signs() []float64 {
+	out := make([]float64, c.Bits)
+	for i := range out {
+		if c.Words[i/64]&(1<<(i%64)) != 0 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// Bit reports whether bit i is set.
+func (c Code) Bit(i int) bool { return c.Words[i/64]&(1<<(i%64)) != 0 }
+
+// FlipBit returns a copy of the code with bit i flipped.
+func (c Code) FlipBit(i int) Code {
+	out := Code{Bits: c.Bits, Words: append([]uint64(nil), c.Words...)}
+	out.Words[i/64] ^= 1 << (i % 64)
+	return out
+}
+
+// Distance returns the Hamming distance between two codes of equal length.
+func Distance(a, b Code) int {
+	if a.Bits != b.Bits {
+		panic(fmt.Sprintf("hamming: length mismatch %d vs %d", a.Bits, b.Bits))
+	}
+	var d int
+	for i := range a.Words {
+		d += bits.OnesCount64(a.Words[i] ^ b.Words[i])
+	}
+	return d
+}
+
+// InnerProduct returns ⟨z_a, z_b⟩ under the ±1 convention. It satisfies the
+// identity of Section IV-F: H(a, b) = (d_h − ⟨z_a, z_b⟩)/2.
+func InnerProduct(a, b Code) int {
+	return a.Bits - 2*Distance(a, b)
+}
+
+// Equal reports code equality.
+func Equal(a, b Code) bool {
+	if a.Bits != b.Bits {
+		return false
+	}
+	for i := range a.Words {
+		if a.Words[i] != b.Words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a map key for the code. Codes up to 64 bits use the word
+// directly; longer codes concatenate words into a string key.
+func (c Code) Key() string {
+	if len(c.Words) == 1 {
+		return fmt.Sprintf("%016x", c.Words[0])
+	}
+	b := make([]byte, 0, len(c.Words)*16)
+	for _, w := range c.Words {
+		b = append(b, fmt.Sprintf("%016x", w)...)
+	}
+	return string(b)
+}
+
+func (c Code) String() string {
+	b := make([]byte, c.Bits)
+	for i := 0; i < c.Bits; i++ {
+		if c.Bit(i) {
+			b[c.Bits-1-i] = '1'
+		} else {
+			b[c.Bits-1-i] = '0'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,193 @@
+package hamming
+
+import (
+	"fmt"
+	"sort"
+
+	"traj2hash/internal/topk"
+)
+
+// Table is a hash index over binary codes: codes map to buckets of item
+// ids. It supports exact-bucket lookup, radius-r lookup by bit-flip
+// expansion, and the Hamming-Hybrid top-k search of Section V-E.
+//
+// Codes up to 64 bits are bucketed by their raw word (no allocation per
+// probe); longer codes fall back to string keys.
+type Table struct {
+	bits    int
+	fast    map[uint64][]int // single-word codes
+	slow    map[string][]int // multi-word codes
+	codes   []Code
+	buckets int
+}
+
+// NewTable builds an index over the given codes; item i gets id i.
+func NewTable(codes []Code) (*Table, error) {
+	if len(codes) == 0 {
+		return nil, fmt.Errorf("hamming: empty code set")
+	}
+	bits := codes[0].Bits
+	t := &Table{bits: bits, codes: codes}
+	if bits <= 64 {
+		t.fast = make(map[uint64][]int, len(codes))
+	} else {
+		t.slow = make(map[string][]int, len(codes))
+	}
+	for i, c := range codes {
+		if c.Bits != bits {
+			return nil, fmt.Errorf("hamming: code %d has %d bits, want %d", i, c.Bits, bits)
+		}
+		if t.fast != nil {
+			t.fast[c.Words[0]] = append(t.fast[c.Words[0]], i)
+		} else {
+			t.slow[c.Key()] = append(t.slow[c.Key()], i)
+		}
+	}
+	if t.fast != nil {
+		t.buckets = len(t.fast)
+	} else {
+		t.buckets = len(t.slow)
+	}
+	return t, nil
+}
+
+// Add indexes one more code, returning its id. The code length must match
+// the table's.
+func (t *Table) Add(c Code) (int, error) {
+	if c.Bits != t.bits {
+		return 0, fmt.Errorf("hamming: code has %d bits, table has %d", c.Bits, t.bits)
+	}
+	id := len(t.codes)
+	t.codes = append(t.codes, c)
+	if t.fast != nil {
+		w := c.Words[0]
+		if _, ok := t.fast[w]; !ok {
+			t.buckets++
+		}
+		t.fast[w] = append(t.fast[w], id)
+	} else {
+		k := c.Key()
+		if _, ok := t.slow[k]; !ok {
+			t.buckets++
+		}
+		t.slow[k] = append(t.slow[k], id)
+	}
+	return id, nil
+}
+
+// Len returns the number of indexed items.
+func (t *Table) Len() int { return len(t.codes) }
+
+// Bits returns the code length.
+func (t *Table) Bits() int { return t.bits }
+
+// Buckets returns the number of non-empty buckets.
+func (t *Table) Buckets() int { return t.buckets }
+
+// Lookup returns the ids in the exact bucket of q.
+func (t *Table) Lookup(q Code) []int {
+	if t.fast != nil {
+		return t.fast[q.Words[0]]
+	}
+	return t.slow[q.Key()]
+}
+
+// lookupFlipped returns the bucket of q with bits i (and j ≥ 0) flipped,
+// without materializing a new Code for single-word tables.
+func (t *Table) lookupFlipped(q Code, i, j int) []int {
+	if t.fast != nil {
+		w := q.Words[0] ^ (1 << uint(i))
+		if j >= 0 {
+			w ^= 1 << uint(j)
+		}
+		return t.fast[w]
+	}
+	c := q.FlipBit(i)
+	if j >= 0 {
+		c = c.FlipBit(j)
+	}
+	return t.slow[c.Key()]
+}
+
+// LookupRadius returns all ids within Hamming distance radius of q,
+// enumerated by flipping up to radius bits (radius ≤ 2 per the paper's
+// strategy). Flip buckets are pairwise disjoint, so no deduplication is
+// needed.
+func (t *Table) LookupRadius(q Code, radius int) []int {
+	var out []int
+	out = append(out, t.Lookup(q)...)
+	if radius >= 1 {
+		for i := 0; i < t.bits; i++ {
+			out = append(out, t.lookupFlipped(q, i, -1)...)
+		}
+	}
+	if radius >= 2 {
+		for i := 0; i < t.bits; i++ {
+			for j := i + 1; j < t.bits; j++ {
+				out = append(out, t.lookupFlipped(q, i, j)...)
+			}
+		}
+	}
+	return out
+}
+
+// Neighbor pairs an item id with its Hamming distance to the query.
+type Neighbor struct {
+	ID       int
+	Distance int
+}
+
+// BruteForce returns the k nearest items to q by scanning all codes — the
+// Hamming-BF strategy. Ties break by id for determinism. Selection is
+// O(n log k), so the popcount scan dominates.
+func (t *Table) BruteForce(q Code, k int) []Neighbor {
+	items := topk.Select(len(t.codes), k, func(i int) float64 {
+		return float64(Distance(q, t.codes[i]))
+	})
+	ns := make([]Neighbor, len(items))
+	for i, it := range items {
+		ns[i] = Neighbor{ID: it.ID, Distance: int(it.Dist)}
+	}
+	return ns
+}
+
+// Hybrid implements the Hamming-Hybrid strategy of Section V-E: search the
+// radius-2 neighborhood via table lookup; if it contains at least k items,
+// rank just those; otherwise fall back to the brute-force scan. The boolean
+// reports whether the table-lookup fast path was taken.
+//
+// Candidates arrive grouped by exact distance (the flip radius of their
+// bucket), so ranking is a per-group id sort with no distance computation.
+func (t *Table) Hybrid(q Code, k int) ([]Neighbor, bool) {
+	d0 := t.Lookup(q)
+	var d1, d2 []int
+	for i := 0; i < t.bits; i++ {
+		d1 = append(d1, t.lookupFlipped(q, i, -1)...)
+	}
+	for i := 0; i < t.bits; i++ {
+		for j := i + 1; j < t.bits; j++ {
+			d2 = append(d2, t.lookupFlipped(q, i, j)...)
+		}
+	}
+	if len(d0)+len(d1)+len(d2) < k {
+		return t.BruteForce(q, k), false
+	}
+	out := make([]Neighbor, 0, k)
+	for d, ids := range [][]int{d0, d1, d2} {
+		if len(out) == k {
+			break
+		}
+		need := k - len(out)
+		if len(ids) > need {
+			// Only the smallest ids of this distance group are needed.
+			sort.Ints(ids)
+			ids = ids[:need]
+		} else {
+			sort.Ints(ids)
+		}
+		for _, id := range ids {
+			out = append(out, Neighbor{ID: id, Distance: d})
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,42 @@
+package nn
+
+import "math"
+
+// GradCheck verifies reverse-mode gradients against central finite
+// differences. build must construct a fresh scalar-output graph from the
+// given parameters each call (the graph is re-run with perturbed values).
+// It returns the maximum relative error over all parameter entries.
+func GradCheck(params []*Tensor, build func() *Tensor, eps float64) float64 {
+	// Analytic gradients.
+	for _, p := range params {
+		p.ensureGrad()
+		p.ZeroGrad()
+	}
+	loss := build()
+	loss.Backward()
+	analytic := make([][]float64, len(params))
+	for i, p := range params {
+		analytic[i] = append([]float64(nil), p.Grad...)
+	}
+
+	var worst float64
+	for i, p := range params {
+		for j := range p.Data {
+			orig := p.Data[j]
+			p.Data[j] = orig + eps
+			plus := build().Scalar()
+			p.Data[j] = orig - eps
+			minus := build().Scalar()
+			p.Data[j] = orig
+
+			numeric := (plus - minus) / (2 * eps)
+			a := analytic[i][j]
+			denom := math.Max(1e-8, math.Abs(a)+math.Abs(numeric))
+			rel := math.Abs(a-numeric) / denom
+			if rel > worst {
+				worst = rel
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,88 @@
+package nn
+
+import "math/rand"
+
+// LSTMCell is a long short-term memory cell — the recurrent encoder t2vec's
+// original implementation uses (this library's t2vec defaults to GRU for
+// speed; both are provided):
+//
+//	i = σ(x·Wi + h·Ui + bi)
+//	f = σ(x·Wf + h·Uf + bf)
+//	o = σ(x·Wo + h·Uo + bo)
+//	g = tanh(x·Wg + h·Ug + bg)
+//	c' = f⊙c + i⊙g
+//	h' = o⊙tanh(c')
+type LSTMCell struct {
+	Wi, Wf, Wo, Wg *Tensor // in×hidden
+	Ui, Uf, Uo, Ug *Tensor // hidden×hidden
+	Bi, Bf, Bo, Bg *Tensor // 1×hidden
+	In, Hidden     int
+}
+
+// NewLSTMCell returns a Xavier-initialized LSTM cell with the forget-gate
+// bias set to 1 (the standard trick that keeps early gradients flowing).
+func NewLSTMCell(in, hidden int, rng *rand.Rand) *LSTMCell {
+	c := &LSTMCell{
+		Wi: XavierParam(in, hidden, rng), Wf: XavierParam(in, hidden, rng),
+		Wo: XavierParam(in, hidden, rng), Wg: XavierParam(in, hidden, rng),
+		Ui: XavierParam(hidden, hidden, rng), Uf: XavierParam(hidden, hidden, rng),
+		Uo: XavierParam(hidden, hidden, rng), Ug: XavierParam(hidden, hidden, rng),
+		Bi: NewParam(1, hidden), Bf: NewParam(1, hidden),
+		Bo: NewParam(1, hidden), Bg: NewParam(1, hidden),
+		In: in, Hidden: hidden,
+	}
+	for i := range c.Bf.Data {
+		c.Bf.Data[i] = 1
+	}
+	return c
+}
+
+// Step advances the cell: x is 1×in; h, cell are 1×hidden. Returns the new
+// hidden and cell states.
+func (c *LSTMCell) Step(x, h, cell *Tensor) (*Tensor, *Tensor) {
+	gate := func(w, u, b *Tensor) *Tensor {
+		return Add(Add(MatMul(x, w), MatMul(h, u)), b)
+	}
+	i := Sigmoid(gate(c.Wi, c.Ui, c.Bi))
+	f := Sigmoid(gate(c.Wf, c.Uf, c.Bf))
+	o := Sigmoid(gate(c.Wo, c.Uo, c.Bo))
+	g := Tanh(gate(c.Wg, c.Ug, c.Bg))
+	newCell := Add(Mul(f, cell), Mul(i, g))
+	newH := Mul(o, Tanh(newCell))
+	return newH, newCell
+}
+
+// InitState returns zero hidden and cell states.
+func (c *LSTMCell) InitState() (*Tensor, *Tensor) {
+	return New(1, c.Hidden), New(1, c.Hidden)
+}
+
+// RunSequence feeds each row of x (n×in) through the cell and returns all
+// hidden states stacked as n×hidden.
+func (c *LSTMCell) RunSequence(x *Tensor) *Tensor {
+	h, cell := c.InitState()
+	states := make([]*Tensor, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		h, cell = c.Step(SliceRows(x, i, i+1), h, cell)
+		states[i] = h
+	}
+	return ConcatRows(states...)
+}
+
+// Final runs the sequence and returns the last hidden state (1×hidden).
+func (c *LSTMCell) Final(x *Tensor) *Tensor {
+	h, cell := c.InitState()
+	for i := 0; i < x.Rows; i++ {
+		h, cell = c.Step(SliceRows(x, i, i+1), h, cell)
+	}
+	return h
+}
+
+// Params implements Module.
+func (c *LSTMCell) Params() []*Tensor {
+	return []*Tensor{
+		c.Wi, c.Wf, c.Wo, c.Wg,
+		c.Ui, c.Uf, c.Uo, c.Ug,
+		c.Bi, c.Bf, c.Bo, c.Bg,
+	}
+}

@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLSTMShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewLSTMCell(3, 6, rng)
+	x := Randn(7, 3, 1, rng)
+	all := c.RunSequence(x)
+	if all.Rows != 7 || all.Cols != 6 {
+		t.Errorf("RunSequence = %dx%d", all.Rows, all.Cols)
+	}
+	fin := c.Final(x)
+	if fin.Rows != 1 || fin.Cols != 6 {
+		t.Errorf("Final = %dx%d", fin.Rows, fin.Cols)
+	}
+	for j := 0; j < 6; j++ {
+		if fin.At(0, j) != all.At(6, j) {
+			t.Fatal("Final != last row of RunSequence")
+		}
+	}
+	if len(c.Params()) != 12 {
+		t.Errorf("params = %d", len(c.Params()))
+	}
+}
+
+func TestLSTMForgetBias(t *testing.T) {
+	c := NewLSTMCell(2, 4, rand.New(rand.NewSource(2)))
+	for _, v := range c.Bf.Data {
+		if v != 1 {
+			t.Fatal("forget bias not initialized to 1")
+		}
+	}
+	for _, v := range c.Bi.Data {
+		if v != 0 {
+			t.Fatal("input bias not zero")
+		}
+	}
+}
+
+func TestGradLSTM(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewLSTMCell(3, 4, rng)
+	x := randParam(rng, 5, 3)
+	params := append([]*Tensor{x}, c.Params()...)
+	checkOp(t, "LSTM.Final", params, func() *Tensor {
+		return SumAll(Square(c.Final(x)))
+	})
+	checkOp(t, "LSTM.RunSequence", params, func() *Tensor {
+		return SumAll(Square(c.RunSequence(x)))
+	})
+}
+
+func TestLSTMLearnsMemoryTask(t *testing.T) {
+	// The cell should learn to output the sign of the FIRST input after a
+	// short distractor sequence — a task requiring memory.
+	rng := rand.New(rand.NewSource(4))
+	c := NewLSTMCell(1, 8, rng)
+	head := NewLinear(8, 1, rng)
+	params := append(c.Params(), head.Params()...)
+	opt := NewAdam(params, 1e-2)
+
+	mkSeq := func(sign float64) *Tensor {
+		x := New(5, 1)
+		x.Data[0] = sign
+		for i := 1; i < 5; i++ {
+			x.Data[i] = rng.NormFloat64() * 0.1
+		}
+		return x
+	}
+	for epoch := 0; epoch < 150; epoch++ {
+		var loss *Tensor
+		for b := 0; b < 8; b++ {
+			sign := float64(1 - 2*(b%2))
+			pred := head.Forward(c.Final(mkSeq(sign)))
+			target := FromVec([]float64{sign})
+			l := Square(Sub(pred, target))
+			if loss == nil {
+				loss = l
+			} else {
+				loss = Add(loss, l)
+			}
+		}
+		SumAll(loss).Backward()
+		opt.Step()
+	}
+	// Evaluate.
+	var correct int
+	for trial := 0; trial < 20; trial++ {
+		sign := float64(1 - 2*(trial%2))
+		pred := head.Forward(c.Final(mkSeq(sign))).Scalar()
+		if (pred > 0) == (sign > 0) {
+			correct++
+		}
+	}
+	if correct < 17 {
+		t.Errorf("LSTM memory task: %d/20 correct", correct)
+	}
+}

@@ -1,0 +1,696 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MatMul returns a·b for a (n×k) and b (k×m).
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: MatMul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	n, k, m := a.Rows, a.Cols, b.Cols
+	out := result(n, m, func(t *Tensor) {
+		// dA = dOut · Bᵀ ; dB = Aᵀ · dOut
+		if a.inGraph() {
+			a.ensureGrad()
+			for i := 0; i < n; i++ {
+				for j := 0; j < m; j++ {
+					g := t.Grad[i*m+j]
+					if g == 0 {
+						continue
+					}
+					for p := 0; p < k; p++ {
+						a.Grad[i*k+p] += g * b.Data[p*m+j]
+					}
+				}
+			}
+		}
+		if b.inGraph() {
+			b.ensureGrad()
+			for p := 0; p < k; p++ {
+				for j := 0; j < m; j++ {
+					var s float64
+					for i := 0; i < n; i++ {
+						s += a.Data[i*k+p] * t.Grad[i*m+j]
+					}
+					b.Grad[p*m+j] += s
+				}
+			}
+		}
+	}, a, b)
+	// Forward: straightforward ikj loop for cache friendliness.
+	for i := 0; i < n; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*m : (i+1)*m]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*m : (p+1)*m]
+			for j := 0; j < m; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Add returns a + b elementwise (same shape).
+func Add(a, b *Tensor) *Tensor {
+	sameShape(a, b)
+	out := result(a.Rows, a.Cols, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i, g := range t.Grad {
+				a.Grad[i] += g
+			}
+		}
+		if b.inGraph() {
+			b.ensureGrad()
+			for i, g := range t.Grad {
+				b.Grad[i] += g
+			}
+		}
+	}, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a − b elementwise (same shape).
+func Sub(a, b *Tensor) *Tensor {
+	sameShape(a, b)
+	out := result(a.Rows, a.Cols, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i, g := range t.Grad {
+				a.Grad[i] += g
+			}
+		}
+		if b.inGraph() {
+			b.ensureGrad()
+			for i, g := range t.Grad {
+				b.Grad[i] -= g
+			}
+		}
+	}, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns the Hadamard (elementwise) product.
+func Mul(a, b *Tensor) *Tensor {
+	sameShape(a, b)
+	out := result(a.Rows, a.Cols, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i, g := range t.Grad {
+				a.Grad[i] += g * b.Data[i]
+			}
+		}
+		if b.inGraph() {
+			b.ensureGrad()
+			for i, g := range t.Grad {
+				b.Grad[i] += g * a.Data[i]
+			}
+		}
+	}, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// AddRow broadcasts the 1×d row vector b onto every row of a (n×d).
+func AddRow(a, b *Tensor) *Tensor {
+	if b.Rows != 1 || b.Cols != a.Cols {
+		panic(fmt.Sprintf("nn: AddRow %dx%d + %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := result(a.Rows, a.Cols, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i, g := range t.Grad {
+				a.Grad[i] += g
+			}
+		}
+		if b.inGraph() {
+			b.ensureGrad()
+			for i := 0; i < a.Rows; i++ {
+				for j := 0; j < a.Cols; j++ {
+					b.Grad[j] += t.Grad[i*a.Cols+j]
+				}
+			}
+		}
+	}, a, b)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[i*a.Cols+j] = a.Data[i*a.Cols+j] + b.Data[j]
+		}
+	}
+	return out
+}
+
+// Scale returns s·a.
+func Scale(a *Tensor, s float64) *Tensor {
+	out := result(a.Rows, a.Cols, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i, g := range t.Grad {
+				a.Grad[i] += g * s
+			}
+		}
+	}, a)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * s
+	}
+	return out
+}
+
+// AddScalar returns a + s elementwise.
+func AddScalar(a *Tensor, s float64) *Tensor {
+	out := result(a.Rows, a.Cols, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i, g := range t.Grad {
+				a.Grad[i] += g
+			}
+		}
+	}, a)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + s
+	}
+	return out
+}
+
+// ReLU returns max(0, a) elementwise.
+func ReLU(a *Tensor) *Tensor {
+	out := result(a.Rows, a.Cols, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i, g := range t.Grad {
+				if a.Data[i] > 0 {
+					a.Grad[i] += g
+				}
+			}
+		}
+	}, a)
+	for i, v := range a.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Tanh returns tanh(a) elementwise.
+func Tanh(a *Tensor) *Tensor {
+	out := result(a.Rows, a.Cols, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i, g := range t.Grad {
+				y := t.Data[i]
+				a.Grad[i] += g * (1 - y*y)
+			}
+		}
+	}, a)
+	for i, v := range a.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	return out
+}
+
+// Sigmoid returns 1/(1+e^−a) elementwise.
+func Sigmoid(a *Tensor) *Tensor {
+	out := result(a.Rows, a.Cols, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i, g := range t.Grad {
+				y := t.Data[i]
+				a.Grad[i] += g * y * (1 - y)
+			}
+		}
+	}, a)
+	for i, v := range a.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	return out
+}
+
+// Exp returns e^a elementwise.
+func Exp(a *Tensor) *Tensor {
+	out := result(a.Rows, a.Cols, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i, g := range t.Grad {
+				a.Grad[i] += g * t.Data[i]
+			}
+		}
+	}, a)
+	for i, v := range a.Data {
+		out.Data[i] = math.Exp(v)
+	}
+	return out
+}
+
+// Log returns ln(a + eps) elementwise; eps keeps the gradient finite at 0.
+func Log(a *Tensor, eps float64) *Tensor {
+	out := result(a.Rows, a.Cols, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i, g := range t.Grad {
+				a.Grad[i] += g / (a.Data[i] + eps)
+			}
+		}
+	}, a)
+	for i, v := range a.Data {
+		out.Data[i] = math.Log(v + eps)
+	}
+	return out
+}
+
+// Square returns a² elementwise.
+func Square(a *Tensor) *Tensor {
+	out := result(a.Rows, a.Cols, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i, g := range t.Grad {
+				a.Grad[i] += g * 2 * a.Data[i]
+			}
+		}
+	}, a)
+	for i, v := range a.Data {
+		out.Data[i] = v * v
+	}
+	return out
+}
+
+// Sqrt returns sqrt(a + eps) elementwise; eps keeps the gradient finite at 0.
+func Sqrt(a *Tensor, eps float64) *Tensor {
+	out := result(a.Rows, a.Cols, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i, g := range t.Grad {
+				a.Grad[i] += g * 0.5 / t.Data[i]
+			}
+		}
+	}, a)
+	for i, v := range a.Data {
+		out.Data[i] = math.Sqrt(v + eps)
+	}
+	return out
+}
+
+// SumAll reduces to a 1×1 scalar.
+func SumAll(a *Tensor) *Tensor {
+	out := result(1, 1, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			g := t.Grad[0]
+			for i := range a.Grad {
+				a.Grad[i] += g
+			}
+		}
+	}, a)
+	var s float64
+	for _, v := range a.Data {
+		s += v
+	}
+	out.Data[0] = s
+	return out
+}
+
+// MeanAll reduces to the 1×1 mean.
+func MeanAll(a *Tensor) *Tensor {
+	n := float64(len(a.Data))
+	out := result(1, 1, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			g := t.Grad[0] / n
+			for i := range a.Grad {
+				a.Grad[i] += g
+			}
+		}
+	}, a)
+	var s float64
+	for _, v := range a.Data {
+		s += v
+	}
+	out.Data[0] = s / n
+	return out
+}
+
+// MeanRows returns the 1×d column-wise mean of an n×d tensor — the Mean
+// pooling of Equation 9.
+func MeanRows(a *Tensor) *Tensor {
+	n := float64(a.Rows)
+	out := result(1, a.Cols, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i := 0; i < a.Rows; i++ {
+				for j := 0; j < a.Cols; j++ {
+					a.Grad[i*a.Cols+j] += t.Grad[j] / n
+				}
+			}
+		}
+	}, a)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[j] += a.Data[i*a.Cols+j]
+		}
+	}
+	for j := range out.Data {
+		out.Data[j] /= n
+	}
+	return out
+}
+
+// RowSums returns the n×1 per-row sums of an n×d tensor.
+func RowSums(a *Tensor) *Tensor {
+	out := result(a.Rows, 1, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i := 0; i < a.Rows; i++ {
+				g := t.Grad[i]
+				for j := 0; j < a.Cols; j++ {
+					a.Grad[i*a.Cols+j] += g
+				}
+			}
+		}
+	}, a)
+	for i := 0; i < a.Rows; i++ {
+		var s float64
+		for j := 0; j < a.Cols; j++ {
+			s += a.Data[i*a.Cols+j]
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// DivByColumn divides each row i of a (n×d) by c[i] (n×1).
+func DivByColumn(a, c *Tensor) *Tensor {
+	if c.Rows != a.Rows || c.Cols != 1 {
+		panic(fmt.Sprintf("nn: DivByColumn %dx%d / %dx%d", a.Rows, a.Cols, c.Rows, c.Cols))
+	}
+	out := result(a.Rows, a.Cols, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i := 0; i < a.Rows; i++ {
+				inv := 1 / c.Data[i]
+				for j := 0; j < a.Cols; j++ {
+					a.Grad[i*a.Cols+j] += t.Grad[i*a.Cols+j] * inv
+				}
+			}
+		}
+		if c.inGraph() {
+			c.ensureGrad()
+			for i := 0; i < a.Rows; i++ {
+				inv2 := 1 / (c.Data[i] * c.Data[i])
+				var s float64
+				for j := 0; j < a.Cols; j++ {
+					s += t.Grad[i*a.Cols+j] * a.Data[i*a.Cols+j]
+				}
+				c.Grad[i] -= s * inv2
+			}
+		}
+	}, a, c)
+	for i := 0; i < a.Rows; i++ {
+		inv := 1 / c.Data[i]
+		for j := 0; j < a.Cols; j++ {
+			out.Data[i*a.Cols+j] = a.Data[i*a.Cols+j] * inv
+		}
+	}
+	return out
+}
+
+// SoftmaxRows applies softmax independently to each row.
+func SoftmaxRows(a *Tensor) *Tensor {
+	out := result(a.Rows, a.Cols, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i := 0; i < a.Rows; i++ {
+				row := t.Data[i*a.Cols : (i+1)*a.Cols]
+				grow := t.Grad[i*a.Cols : (i+1)*a.Cols]
+				// dL/dx_j = y_j * (g_j - sum_k g_k y_k)
+				var dot float64
+				for j, y := range row {
+					dot += grow[j] * y
+				}
+				for j, y := range row {
+					a.Grad[i*a.Cols+j] += y * (grow[j] - dot)
+				}
+			}
+		}
+	}, a)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*a.Cols : (i+1)*a.Cols]
+		maxV := math.Inf(-1)
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - maxV)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	return out
+}
+
+// Transpose returns aᵀ.
+func Transpose(a *Tensor) *Tensor {
+	out := result(a.Cols, a.Rows, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i := 0; i < a.Rows; i++ {
+				for j := 0; j < a.Cols; j++ {
+					a.Grad[i*a.Cols+j] += t.Grad[j*a.Rows+i]
+				}
+			}
+		}
+	}, a)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
+		}
+	}
+	return out
+}
+
+// ConcatCols concatenates tensors with equal row counts side by side — the
+// [h, h_r] of Lemma 3 and Equation 15.
+func ConcatCols(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("nn: ConcatCols of nothing")
+	}
+	rows := ts[0].Rows
+	total := 0
+	for _, t := range ts {
+		if t.Rows != rows {
+			panic("nn: ConcatCols row mismatch")
+		}
+		total += t.Cols
+	}
+	parents := append([]*Tensor(nil), ts...)
+	out := result(rows, total, func(t *Tensor) {
+		off := 0
+		for _, p := range ts {
+			if p.inGraph() {
+				p.ensureGrad()
+				for i := 0; i < rows; i++ {
+					for j := 0; j < p.Cols; j++ {
+						p.Grad[i*p.Cols+j] += t.Grad[i*total+off+j]
+					}
+				}
+			}
+			off += p.Cols
+		}
+	}, parents...)
+	off := 0
+	for _, p := range ts {
+		for i := 0; i < rows; i++ {
+			copy(out.Data[i*total+off:i*total+off+p.Cols], p.Data[i*p.Cols:(i+1)*p.Cols])
+		}
+		off += p.Cols
+	}
+	return out
+}
+
+// ConcatRows stacks tensors with equal column counts vertically.
+func ConcatRows(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("nn: ConcatRows of nothing")
+	}
+	cols := ts[0].Cols
+	total := 0
+	for _, t := range ts {
+		if t.Cols != cols {
+			panic("nn: ConcatRows col mismatch")
+		}
+		total += t.Rows
+	}
+	parents := append([]*Tensor(nil), ts...)
+	out := result(total, cols, func(t *Tensor) {
+		off := 0
+		for _, p := range ts {
+			if p.inGraph() {
+				p.ensureGrad()
+				for i := range p.Grad {
+					p.Grad[i] += t.Grad[off+i]
+				}
+			}
+			off += len(p.Data)
+		}
+	}, parents...)
+	off := 0
+	for _, p := range ts {
+		copy(out.Data[off:off+len(p.Data)], p.Data)
+		off += len(p.Data)
+	}
+	return out
+}
+
+// SliceRows returns rows [lo, hi) as a new (hi−lo)×cols tensor.
+func SliceRows(a *Tensor, lo, hi int) *Tensor {
+	if lo < 0 || hi > a.Rows || lo >= hi {
+		panic(fmt.Sprintf("nn: SliceRows [%d,%d) of %d rows", lo, hi, a.Rows))
+	}
+	out := result(hi-lo, a.Cols, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i := range t.Grad {
+				a.Grad[lo*a.Cols+i] += t.Grad[i]
+			}
+		}
+	}, a)
+	copy(out.Data, a.Data[lo*a.Cols:hi*a.Cols])
+	return out
+}
+
+// SliceCols returns columns [lo, hi) as a new rows×(hi−lo) tensor — used to
+// split attention heads.
+func SliceCols(a *Tensor, lo, hi int) *Tensor {
+	if lo < 0 || hi > a.Cols || lo >= hi {
+		panic(fmt.Sprintf("nn: SliceCols [%d,%d) of %d cols", lo, hi, a.Cols))
+	}
+	w := hi - lo
+	out := result(a.Rows, w, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i := 0; i < a.Rows; i++ {
+				for j := 0; j < w; j++ {
+					a.Grad[i*a.Cols+lo+j] += t.Grad[i*w+j]
+				}
+			}
+		}
+	}, a)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Data[i*w:(i+1)*w], a.Data[i*a.Cols+lo:i*a.Cols+hi])
+	}
+	return out
+}
+
+// Gather returns the rows of table indexed by idx, in order — an embedding
+// lookup. Backward scatter-adds into the table.
+func Gather(table *Tensor, idx []int) *Tensor {
+	for _, i := range idx {
+		if i < 0 || i >= table.Rows {
+			panic(fmt.Sprintf("nn: Gather index %d out of [0,%d)", i, table.Rows))
+		}
+	}
+	d := table.Cols
+	out := result(len(idx), d, func(t *Tensor) {
+		if table.inGraph() {
+			table.ensureGrad()
+			for r, i := range idx {
+				for j := 0; j < d; j++ {
+					table.Grad[i*d+j] += t.Grad[r*d+j]
+				}
+			}
+		}
+	}, table)
+	for r, i := range idx {
+		copy(out.Data[r*d:(r+1)*d], table.Data[i*d:(i+1)*d])
+	}
+	return out
+}
+
+// Dropout zeroes each element with probability p and rescales the survivors
+// by 1/(1−p). When training is false it is the identity.
+func Dropout(a *Tensor, p float64, training bool, rng *rand.Rand) *Tensor {
+	if !training || p <= 0 {
+		return a
+	}
+	mask := make([]float64, len(a.Data))
+	scale := 1 / (1 - p)
+	for i := range mask {
+		if rng.Float64() >= p {
+			mask[i] = scale
+		}
+	}
+	out := result(a.Rows, a.Cols, func(t *Tensor) {
+		if a.inGraph() {
+			a.ensureGrad()
+			for i, g := range t.Grad {
+				a.Grad[i] += g * mask[i]
+			}
+		}
+	}, a)
+	for i, v := range a.Data {
+		out.Data[i] = v * mask[i]
+	}
+	return out
+}
+
+// Dot returns the 1×1 inner product of two equal-shape tensors (flattened).
+func Dot(a, b *Tensor) *Tensor {
+	sameShape(a, b)
+	out := result(1, 1, func(t *Tensor) {
+		g := t.Grad[0]
+		if a.inGraph() {
+			a.ensureGrad()
+			for i := range a.Grad {
+				a.Grad[i] += g * b.Data[i]
+			}
+		}
+		if b.inGraph() {
+			b.ensureGrad()
+			for i := range b.Grad {
+				b.Grad[i] += g * a.Data[i]
+			}
+		}
+	}, a, b)
+	var s float64
+	for i := range a.Data {
+		s += a.Data[i] * b.Data[i]
+	}
+	out.Data[0] = s
+	return out
+}
+
+// EuclideanDistance returns the 1×1 Euclidean distance between two
+// equal-shape tensors, with an eps inside the square root so the gradient is
+// finite at zero distance.
+func EuclideanDistance(a, b *Tensor) *Tensor {
+	diff := Sub(a, b)
+	return Sqrt(SumAll(Square(diff)), 1e-12)
+}
+
+// HingeScalar returns max(0, x) for a 1×1 tensor — the [x]+ of Equation 18.
+func HingeScalar(x *Tensor) *Tensor {
+	return ReLU(x)
+}

@@ -1,0 +1,134 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and clears the gradients.
+	Step()
+	// ZeroGrad clears all parameter gradients without updating.
+	ZeroGrad()
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	Params   []*Tensor
+	LR       float64
+	Momentum float64
+	velocity [][]float64
+}
+
+// NewSGD returns an SGD optimizer over the parameters.
+func NewSGD(params []*Tensor, lr, momentum float64) *SGD {
+	s := &SGD{Params: params, LR: lr, Momentum: momentum}
+	if momentum != 0 {
+		s.velocity = make([][]float64, len(params))
+		for i, p := range params {
+			s.velocity[i] = make([]float64, len(p.Data))
+		}
+	}
+	return s
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step() {
+	for i, p := range s.Params {
+		if p.Grad == nil {
+			continue
+		}
+		if s.velocity != nil {
+			v := s.velocity[i]
+			for j := range p.Data {
+				v[j] = s.Momentum*v[j] + p.Grad[j]
+				p.Data[j] -= s.LR * v[j]
+			}
+		} else {
+			for j := range p.Data {
+				p.Data[j] -= s.LR * p.Grad[j]
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (s *SGD) ZeroGrad() { zeroAll(s.Params) }
+
+// Adam is the Adam optimizer [Kingma & Ba], the paper's choice (Section
+// IV-F: "employ the Adam optimizer for the update of parameters").
+type Adam struct {
+	Params []*Tensor
+	LR     float64
+	Beta1  float64
+	Beta2  float64
+	Eps    float64
+
+	t int
+	m [][]float64
+	v [][]float64
+}
+
+// NewAdam returns Adam with the conventional β1=0.9, β2=0.999, ε=1e-8.
+func NewAdam(params []*Tensor, lr float64) *Adam {
+	a := &Adam{Params: params, LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, len(p.Data))
+		a.v[i] = make([]float64, len(p.Data))
+	}
+	return a
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step() {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.Params {
+		if p.Grad == nil {
+			continue
+		}
+		m, v := a.m[i], a.v[i]
+		for j := range p.Data {
+			g := p.Grad[j]
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mh := m[j] / c1
+			vh := v[j] / c2
+			p.Data[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (a *Adam) ZeroGrad() { zeroAll(a.Params) }
+
+func zeroAll(params []*Tensor) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm does not
+// exceed maxNorm; returns the pre-clip norm. Guards RNN training against
+// exploding gradients.
+func ClipGradNorm(params []*Tensor, maxNorm float64) float64 {
+	var total float64
+	for _, p := range params {
+		for _, g := range p.Grad {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for j := range p.Grad {
+				p.Grad[j] *= scale
+			}
+		}
+	}
+	return norm
+}

@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForwardParallel evaluates independent forward computations concurrently.
+// Graph construction only reads parameter tensors, so builders may share a
+// model; each builder must construct (and return) its own output tensor and
+// must not call Backward. Results are returned in builder order. workers ≤ 0
+// uses GOMAXPROCS.
+func ForwardParallel(workers int, builders []func() *Tensor) []*Tensor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(builders) {
+		workers = len(builders)
+	}
+	out := make([]*Tensor, len(builders))
+	if workers <= 1 {
+		for i, b := range builders {
+			out[i] = b()
+		}
+		return out
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(builders) {
+					return
+				}
+				out[i] = builders[i]()
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// BackwardAll runs Backward on each scalar loss sequentially — gradient
+// accumulation into shared parameters is not thread-safe, so the pattern
+// for data parallelism is: build the loss graphs with ForwardParallel, then
+// accumulate with BackwardAll, then step the optimizer once. Returns the
+// summed loss value.
+func BackwardAll(losses []*Tensor) float64 {
+	var total float64
+	for _, l := range losses {
+		if l == nil {
+			continue
+		}
+		total += l.Scalar()
+		l.Backward()
+	}
+	return total
+}

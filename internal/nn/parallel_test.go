@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestForwardParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mlp := NewMLP(rng, 4, 16, 2)
+	inputs := make([]*Tensor, 24)
+	for i := range inputs {
+		inputs[i] = Randn(3, 4, 1, rng)
+	}
+	builders := make([]func() *Tensor, len(inputs))
+	for i := range builders {
+		x := inputs[i]
+		builders[i] = func() *Tensor { return SumAll(Square(mlp.Forward(x))) }
+	}
+	seq := ForwardParallel(1, builders)
+	par := ForwardParallel(8, builders)
+	for i := range seq {
+		if seq[i].Scalar() != par[i].Scalar() {
+			t.Fatalf("builder %d: %v vs %v", i, seq[i].Scalar(), par[i].Scalar())
+		}
+	}
+	// Default worker count path.
+	def := ForwardParallel(0, builders)
+	if def[0].Scalar() != seq[0].Scalar() {
+		t.Fatal("default workers differ")
+	}
+}
+
+func TestBackwardAllAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lin := NewLinear(3, 1, rng)
+	xs := []*Tensor{Randn(1, 3, 1, rng), Randn(1, 3, 1, rng)}
+
+	// Reference: one combined loss.
+	ref := NewLinear(3, 1, rng)
+	copy(ref.W.Data, lin.W.Data)
+	copy(ref.B.Data, lin.B.Data)
+	combined := Add(SumAll(Square(ref.Forward(xs[0]))), SumAll(Square(ref.Forward(xs[1]))))
+	combined.Backward()
+
+	// ForwardParallel + BackwardAll on the other copy.
+	losses := ForwardParallel(2, []func() *Tensor{
+		func() *Tensor { return SumAll(Square(lin.Forward(xs[0]))) },
+		func() *Tensor { return SumAll(Square(lin.Forward(xs[1]))) },
+	})
+	total := BackwardAll(losses)
+	if math.Abs(total-combined.Scalar()) > 1e-9 {
+		t.Fatalf("total %v != combined %v", total, combined.Scalar())
+	}
+	for i := range lin.W.Grad {
+		if math.Abs(lin.W.Grad[i]-ref.W.Grad[i]) > 1e-9 {
+			t.Fatalf("grad %d: %v vs %v", i, lin.W.Grad[i], ref.W.Grad[i])
+		}
+	}
+	// Nil losses tolerated.
+	if got := BackwardAll([]*Tensor{nil}); got != 0 {
+		t.Errorf("nil losses = %v", got)
+	}
+}
+
+// TestForwardParallelRace exercises the concurrent path under -race (shared
+// read-only parameters, independent outputs).
+func TestForwardParallelRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	attn := NewEncoderBlock(8, 2, 8, true, rng)
+	builders := make([]func() *Tensor, 32)
+	for i := range builders {
+		x := Randn(4, 8, 1, rng)
+		builders[i] = func() *Tensor { return SumAll(Square(attn.Forward(x))) }
+	}
+	outs := ForwardParallel(8, builders)
+	for i, o := range outs {
+		if o == nil {
+			t.Fatalf("output %d nil", i)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// paramBlob is the gob wire format for one tensor.
+type paramBlob struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// SaveParams writes the parameter tensors to w in order. The caller is
+// responsible for producing the same parameter order on load (models expose
+// Params() with a stable order, so saving and loading the same architecture
+// round-trips).
+func SaveParams(w io.Writer, params []*Tensor) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(len(params)); err != nil {
+		return fmt.Errorf("nn: encode count: %w", err)
+	}
+	for i, p := range params {
+		if err := enc.Encode(paramBlob{Rows: p.Rows, Cols: p.Cols, Data: p.Data}); err != nil {
+			return fmt.Errorf("nn: encode param %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadParams reads parameters from r into the given tensors, which must
+// match in count and shape.
+func LoadParams(r io.Reader, params []*Tensor) error {
+	dec := gob.NewDecoder(r)
+	var n int
+	if err := dec.Decode(&n); err != nil {
+		return fmt.Errorf("nn: decode count: %w", err)
+	}
+	if n != len(params) {
+		return fmt.Errorf("nn: parameter count mismatch: file has %d, model has %d", n, len(params))
+	}
+	for i, p := range params {
+		var blob paramBlob
+		if err := dec.Decode(&blob); err != nil {
+			return fmt.Errorf("nn: decode param %d: %w", i, err)
+		}
+		if blob.Rows != p.Rows || blob.Cols != p.Cols {
+			return fmt.Errorf("nn: param %d shape mismatch: file %dx%d, model %dx%d",
+				i, blob.Rows, blob.Cols, p.Rows, p.Cols)
+		}
+		copy(p.Data, blob.Data)
+	}
+	return nil
+}
+
+// SaveParamsFile saves parameters to path, creating or truncating it.
+func SaveParamsFile(path string, params []*Tensor) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveParams(f, params); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadParamsFile loads parameters from path.
+func LoadParamsFile(path string, params []*Tensor) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadParams(f, params)
+}

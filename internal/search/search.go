@@ -1,0 +1,175 @@
+// Package search implements the three top-k search strategies compared in
+// the efficiency study (Section V-E):
+//
+//   - EuclideanBF — brute-force scan over dense embeddings with Euclidean
+//     distance, then sort;
+//   - HammingBF — brute-force scan over binary codes with Hamming distance;
+//   - HammingHybrid — table lookup within Hamming radius 2, falling back to
+//     the brute-force scan when fewer than k candidates are found.
+//
+// All strategies return database indices; the caller evaluates them against
+// exact ground truth with package eval.
+package search
+
+import (
+	"fmt"
+
+	"traj2hash/internal/hamming"
+	"traj2hash/internal/topk"
+)
+
+// Searcher returns the ids of the k nearest database items to a query.
+// Queries are addressed by a prepared query index so each strategy can use
+// its own representation (dense vector or binary code).
+type Searcher interface {
+	// Name identifies the strategy in reports ("Euclidean-BF", ...).
+	Name() string
+	// Search returns the top-k database ids for prepared query qi.
+	Search(qi, k int) []int
+}
+
+// EuclideanBF scans all database embeddings per query.
+type EuclideanBF struct {
+	DB      [][]float64 // database embeddings
+	Queries [][]float64 // query embeddings
+}
+
+// NewEuclideanBF validates dimensions and builds the strategy.
+func NewEuclideanBF(db, queries [][]float64) (*EuclideanBF, error) {
+	if len(db) == 0 || len(queries) == 0 {
+		return nil, fmt.Errorf("search: empty database or query set")
+	}
+	d := len(db[0])
+	for i, v := range db {
+		if len(v) != d {
+			return nil, fmt.Errorf("search: db vector %d has dim %d, want %d", i, len(v), d)
+		}
+	}
+	for i, v := range queries {
+		if len(v) != d {
+			return nil, fmt.Errorf("search: query vector %d has dim %d, want %d", i, len(v), d)
+		}
+	}
+	return &EuclideanBF{DB: db, Queries: queries}, nil
+}
+
+// Name implements Searcher.
+func (s *EuclideanBF) Name() string { return "Euclidean-BF" }
+
+// Search implements Searcher. Selection is O(n log k) via a bounded heap,
+// so the float distance computation dominates — the property the Figure
+// 5/6 comparison of Euclidean versus Hamming scanning measures.
+func (s *EuclideanBF) Search(qi, k int) []int {
+	q := s.Queries[qi]
+	items := topk.Select(len(s.DB), k, func(i int) float64 {
+		v := s.DB[i]
+		var sum float64
+		for j := range q {
+			diff := q[j] - v[j]
+			sum += diff * diff
+		}
+		return sum
+	})
+	out := make([]int, len(items))
+	for i, it := range items {
+		out[i] = it.ID
+	}
+	return out
+}
+
+// HammingBF scans all database codes per query.
+type HammingBF struct {
+	Table   *hamming.Table
+	Queries []hamming.Code
+}
+
+// NewHammingBF indexes the database codes.
+func NewHammingBF(db, queries []hamming.Code) (*HammingBF, error) {
+	t, err := hamming.NewTable(db)
+	if err != nil {
+		return nil, err
+	}
+	return &HammingBF{Table: t, Queries: queries}, nil
+}
+
+// Name implements Searcher.
+func (s *HammingBF) Name() string { return "Hamming-BF" }
+
+// Search implements Searcher.
+func (s *HammingBF) Search(qi, k int) []int {
+	ns := s.Table.BruteForce(s.Queries[qi], k)
+	return ids(ns)
+}
+
+// HammingHybrid uses radius-2 table lookup with brute-force fallback.
+type HammingHybrid struct {
+	Table   *hamming.Table
+	Queries []hamming.Code
+
+	// FastPathCount counts queries answered via table lookup, for the
+	// Figure 5/6 analysis of when the hybrid degenerates to Hamming-BF.
+	FastPathCount int
+}
+
+// NewHammingHybrid indexes the database codes.
+func NewHammingHybrid(db, queries []hamming.Code) (*HammingHybrid, error) {
+	t, err := hamming.NewTable(db)
+	if err != nil {
+		return nil, err
+	}
+	return &HammingHybrid{Table: t, Queries: queries}, nil
+}
+
+// Name implements Searcher.
+func (s *HammingHybrid) Name() string { return "Hamming-Hybrid" }
+
+// Search implements Searcher.
+func (s *HammingHybrid) Search(qi, k int) []int {
+	ns, fast := s.Table.Hybrid(s.Queries[qi], k)
+	if fast {
+		s.FastPathCount++
+	}
+	return ids(ns)
+}
+
+// HammingMIH searches with a multi-index hashing table — an extension
+// beyond the paper's radius-2 strategy that stays sublinear on long codes
+// (see hamming.MIH).
+type HammingMIH struct {
+	Index   *hamming.MIH
+	Queries []hamming.Code
+}
+
+// NewHammingMIH indexes the database codes with the given chunk count.
+func NewHammingMIH(db, queries []hamming.Code, chunks int) (*HammingMIH, error) {
+	idx, err := hamming.NewMIH(db, chunks)
+	if err != nil {
+		return nil, err
+	}
+	return &HammingMIH{Index: idx, Queries: queries}, nil
+}
+
+// Name implements Searcher.
+func (s *HammingMIH) Name() string { return "Hamming-MIH" }
+
+// Search implements Searcher.
+func (s *HammingMIH) Search(qi, k int) []int {
+	return ids(s.Index.Search(s.Queries[qi], k))
+}
+
+func ids(ns []hamming.Neighbor) []int {
+	out := make([]int, len(ns))
+	for i, n := range ns {
+		out[i] = n.ID
+	}
+	return out
+}
+
+// RunAll executes every query against a strategy, returning the id lists.
+func RunAll(s Searcher, numQueries, k int) [][]int {
+	out := make([][]int, numQueries)
+	for i := 0; i < numQueries; i++ {
+		out[i] = s.Search(i, k)
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"traj2hash/internal/hamming"
+)
+
+func randVecs(rng *rand.Rand, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func randCodes(rng *rand.Rand, n, bits int) []hamming.Code {
+	out := make([]hamming.Code, n)
+	for i := range out {
+		v := make([]float64, bits)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		out[i] = hamming.FromSigns(v)
+	}
+	return out
+}
+
+func TestEuclideanBFExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := randVecs(rng, 50, 8)
+	qs := randVecs(rng, 5, 8)
+	s, err := NewEuclideanBF(db, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "Euclidean-BF" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	got := s.Search(0, 5)
+	// Verify against manual scan.
+	best := -1
+	bestD := 1e18
+	for i, v := range db {
+		var sum float64
+		for j := range v {
+			d := qs[0][j] - v[j]
+			sum += d * d
+		}
+		if sum < bestD {
+			bestD = sum
+			best = i
+		}
+	}
+	if got[0] != best {
+		t.Errorf("nearest = %d, want %d", got[0], best)
+	}
+	// Sorted by increasing distance.
+	dist := func(id int) float64 {
+		var sum float64
+		for j := range db[id] {
+			d := qs[0][j] - db[id][j]
+			sum += d * d
+		}
+		return sum
+	}
+	for i := 1; i < len(got); i++ {
+		if dist(got[i]) < dist(got[i-1]) {
+			t.Error("results not sorted")
+		}
+	}
+}
+
+func TestEuclideanBFValidation(t *testing.T) {
+	if _, err := NewEuclideanBF(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := NewEuclideanBF([][]float64{{1, 2}}, [][]float64{{1}}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := NewEuclideanBF([][]float64{{1, 2}, {1}}, [][]float64{{1, 2}}); err == nil {
+		t.Error("ragged db accepted")
+	}
+}
+
+func TestEuclideanBFClampsK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s, _ := NewEuclideanBF(randVecs(rng, 5, 4), randVecs(rng, 1, 4))
+	if got := s.Search(0, 100); len(got) != 5 {
+		t.Errorf("len = %d", len(got))
+	}
+}
+
+func TestHammingBFMatchesTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := randCodes(rng, 80, 32)
+	qs := randCodes(rng, 4, 32)
+	s, err := NewHammingBF(db, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "Hamming-BF" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	got := s.Search(1, 7)
+	want := s.Table.BruteForce(qs[1], 7)
+	for i := range want {
+		if got[i] != want[i].ID {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestHammingHybridFastPathCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Dense 8-bit codes: fast path should dominate.
+	db := randCodes(rng, 400, 8)
+	qs := randCodes(rng, 10, 8)
+	s, err := NewHammingHybrid(db, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "Hamming-Hybrid" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	res := RunAll(s, len(qs), 5)
+	if len(res) != 10 || len(res[0]) != 5 {
+		t.Fatalf("shape = %dx%d", len(res), len(res[0]))
+	}
+	if s.FastPathCount == 0 {
+		t.Error("fast path never used on dense codes")
+	}
+}
+
+func TestHammingHybridSparseFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db := randCodes(rng, 30, 64)
+	qs := randCodes(rng, 3, 64)
+	s, _ := NewHammingHybrid(db, qs)
+	RunAll(s, 3, 10)
+	if s.FastPathCount != 0 {
+		t.Error("fast path on sparse 64-bit codes")
+	}
+	// Fallback results equal Hamming-BF.
+	bf, _ := NewHammingBF(db, qs)
+	for qi := 0; qi < 3; qi++ {
+		a := s.Search(qi, 10)
+		b := bf.Search(qi, 10)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("fallback differs from BF")
+			}
+		}
+	}
+}
+
+func TestHammingMIHSearcher(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := randCodes(rng, 300, 16)
+	qs := randCodes(rng, 4, 16)
+	s, err := NewHammingMIH(db, qs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "Hamming-MIH" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	bf, _ := NewHammingBF(db, qs)
+	for qi := range qs {
+		got := s.Search(qi, 10)
+		want := bf.Search(qi, 10)
+		if len(got) != len(want) {
+			t.Fatalf("len %d vs %d", len(got), len(want))
+		}
+		// Dense 16-bit codes: MIH is exact, distances must match.
+		for i := range want {
+			dg := hamming.Distance(qs[qi], db[got[i]])
+			dw := hamming.Distance(qs[qi], db[want[i]])
+			if dg != dw {
+				t.Fatalf("query %d rank %d: %d vs %d", qi, i, dg, dw)
+			}
+		}
+	}
+	if _, err := NewHammingMIH(nil, qs, 4); err == nil {
+		t.Error("empty db accepted")
+	}
+}
+
+func TestSearchersAgreeOnIdenticalItem(t *testing.T) {
+	// Insert the query itself into the database: every strategy must rank
+	// it first.
+	rng := rand.New(rand.NewSource(6))
+	vecs := randVecs(rng, 20, 16)
+	q := vecs[7]
+	e, _ := NewEuclideanBF(vecs, [][]float64{q})
+	if got := e.Search(0, 1); got[0] != 7 {
+		t.Errorf("EuclideanBF self = %v", got)
+	}
+	codes := randCodes(rng, 20, 16)
+	qc := codes[7]
+	hb, _ := NewHammingBF(codes, []hamming.Code{qc})
+	if got := hb.Search(0, 1); got[0] != 7 {
+		t.Errorf("HammingBF self = %v", got)
+	}
+	hh, _ := NewHammingHybrid(codes, []hamming.Code{qc})
+	if got := hh.Search(0, 1); got[0] != 7 {
+		t.Errorf("HammingHybrid self = %v", got)
+	}
+}

@@ -1,0 +1,100 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVPTreeExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + rng.Intn(300)
+		vecs := randVecs(rng, n, 8)
+		tree, err := NewVPTree(vecs, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := make([]float64, 8)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		k := 1 + rng.Intn(20)
+		got, _ := tree.Search(q, k)
+
+		bf, err := NewEuclideanBF(vecs, [][]float64{q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bf.Search(0, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d vs %d", trial, len(got), len(want))
+		}
+		d2 := func(id int) float64 {
+			var s float64
+			for j := range q {
+				d := q[j] - vecs[id][j]
+				s += d * d
+			}
+			return s
+		}
+		for i := range want {
+			if d2(got[i]) != d2(want[i]) {
+				t.Fatalf("trial %d rank %d: vp %v vs bf %v", trial, i, d2(got[i]), d2(want[i]))
+			}
+		}
+	}
+}
+
+func TestVPTreePrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Clustered data: pruning should examine well under the full set.
+	n := 4000
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		center := float64(i%8) * 40
+		v := make([]float64, 8)
+		for j := range v {
+			v[j] = center + rng.NormFloat64()
+		}
+		vecs[i] = v
+	}
+	tree, err := NewVPTree(vecs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := append([]float64(nil), vecs[17]...)
+	_, visited := tree.Search(q, 10)
+	if visited >= n {
+		t.Errorf("no pruning: visited %d of %d", visited, n)
+	}
+	if visited > n/2 {
+		t.Errorf("weak pruning on clustered data: visited %d of %d", visited, n)
+	}
+}
+
+func TestVPTreeErrors(t *testing.T) {
+	if _, err := NewVPTree(nil, 1); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := NewVPTree([][]float64{{1, 2}, {1}}, 1); err == nil {
+		t.Error("ragged accepted")
+	}
+	tree, _ := NewVPTree([][]float64{{1, 2}}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong query dim should panic")
+		}
+	}()
+	tree.Search([]float64{1}, 1)
+}
+
+func TestVPTreeSingleAndTiny(t *testing.T) {
+	tree, err := NewVPTree([][]float64{{5, 5}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := tree.Search([]float64{0, 0}, 3)
+	if len(ids) != 1 || ids[0] != 0 {
+		t.Errorf("ids = %v", ids)
+	}
+}

@@ -1,0 +1,79 @@
+// Package topk provides bounded top-k selection by score: O(n log k)
+// instead of sorting the full candidate list, which is what makes the
+// distance computation (not the sort) dominate brute-force search costs —
+// matching how the paper's search strategies are implemented.
+package topk
+
+import "sort"
+
+// Item is a candidate with its distance (smaller is better).
+type Item struct {
+	ID   int
+	Dist float64
+}
+
+// Select returns the k items with the smallest distances among ids
+// [0, n), using the dist callback, sorted ascending with ties broken by id.
+func Select(n, k int, dist func(i int) float64) []Item {
+	if k <= 0 || n <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	// Bounded max-heap of the current best k: the root is the worst kept.
+	h := make([]Item, 0, k)
+	worse := func(a, b Item) bool { // a is worse than b
+		if a.Dist != b.Dist {
+			return a.Dist > b.Dist
+		}
+		return a.ID > b.ID
+	}
+	siftUp := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !worse(h[i], h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	siftDown := func() {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			w := i
+			if l < len(h) && worse(h[l], h[w]) {
+				w = l
+			}
+			if r < len(h) && worse(h[r], h[w]) {
+				w = r
+			}
+			if w == i {
+				return
+			}
+			h[i], h[w] = h[w], h[i]
+			i = w
+		}
+	}
+	for i := 0; i < n; i++ {
+		it := Item{ID: i, Dist: dist(i)}
+		if len(h) < k {
+			h = append(h, it)
+			siftUp(len(h) - 1)
+			continue
+		}
+		if worse(h[0], it) {
+			h[0] = it
+			siftDown()
+		}
+	}
+	sort.Slice(h, func(a, b int) bool { return worse(h[b], h[a]) })
+	return h
+}
+
+// SelectSlice is Select over a precomputed distance slice.
+func SelectSlice(dists []float64, k int) []Item {
+	return Select(len(dists), k, func(i int) float64 { return dists[i] })
+}

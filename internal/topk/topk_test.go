@@ -1,0 +1,81 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		k := 1 + rng.Intn(60)
+		dists := make([]float64, n)
+		for i := range dists {
+			dists[i] = float64(rng.Intn(40)) // ints force tie-breaking
+		}
+		got := SelectSlice(dists, k)
+
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			if dists[idx[a]] != dists[idx[b]] {
+				return dists[idx[a]] < dists[idx[b]]
+			}
+			return idx[a] < idx[b]
+		})
+		want := k
+		if want > n {
+			want = n
+		}
+		if len(got) != want {
+			t.Fatalf("len = %d, want %d", len(got), want)
+		}
+		for i := 0; i < want; i++ {
+			if got[i].ID != idx[i] {
+				t.Fatalf("trial %d rank %d: got id %d (d=%v), want %d (d=%v)",
+					trial, i, got[i].ID, got[i].Dist, idx[i], dists[idx[i]])
+			}
+		}
+	}
+}
+
+func TestSelectEdgeCases(t *testing.T) {
+	if got := SelectSlice(nil, 5); got != nil {
+		t.Errorf("empty input = %v", got)
+	}
+	if got := SelectSlice([]float64{1, 2}, 0); got != nil {
+		t.Errorf("k=0 = %v", got)
+	}
+	got := SelectSlice([]float64{3}, 10)
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Errorf("k>n = %v", got)
+	}
+}
+
+func TestSelectSortedOutput(t *testing.T) {
+	f := func(raw []float64) bool {
+		for i, v := range raw {
+			if v != v || v > 1e300 || v < -1e300 {
+				raw[i] = 0
+			}
+		}
+		got := SelectSlice(raw, 7)
+		for i := 1; i < len(got); i++ {
+			if got[i].Dist < got[i-1].Dist {
+				return false
+			}
+			if got[i].Dist == got[i-1].Dist && got[i].ID < got[i-1].ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

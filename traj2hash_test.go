@@ -1,0 +1,237 @@
+package traj2hash
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// facadeModel trains one tiny model shared by the API tests.
+func facadeFixture(t *testing.T) (*Model, *Dataset) {
+	t.Helper()
+	ds := BuildDataset(Porto(), SplitSpec{
+		Seed: 20, Validation: 12, Corpus: 60, Queries: 4, Database: 50,
+	}, 5)
+	cfg := DefaultConfig(16)
+	cfg.Heads = 2
+	cfg.Blocks = 1
+	cfg.MaxLen = 12
+	cfg.M = 4
+	cfg.Epochs = 3
+	cfg.BatchSize = 8
+	cfg.GridCellSize = 200
+	cfg.GridPreEpochs = 1
+	m, err := New(cfg, ds.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(TrainData{
+		Seeds: ds.Seeds, Validation: ds.Validation, Corpus: ds.Corpus, F: Frechet,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return m, ds
+}
+
+func TestPublicAPIDistanceFunctions(t *testing.T) {
+	a := Trajectory{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	b := Trajectory{{X: 0, Y: 1}, {X: 1, Y: 1}}
+	for _, f := range []DistanceFunc{DTW, Frechet, Hausdorff, ERP, EDR} {
+		d := Distance(f, a, b)
+		if math.IsNaN(d) || d < 0 {
+			t.Errorf("%v = %v", f, d)
+		}
+	}
+	if got := Distance(Frechet, a, b); got != 1 {
+		t.Errorf("Frechet = %v", got)
+	}
+	m := DistanceMatrix(DTW, []Trajectory{a, b})
+	if m[0][1] != m[1][0] || m[0][0] != 0 {
+		t.Error("matrix not symmetric/zero-diagonal")
+	}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	m, ds := facadeFixture(t)
+	// Model save/load through the façade.
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := m.Embed(ds.Queries[0])
+	e2 := m2.Embed(ds.Queries[0])
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("façade round trip changed embeddings")
+		}
+	}
+	// Evaluation through the façade.
+	truth := GroundTruth(Frechet, ds.Queries, ds.Database, 10)
+	if len(truth) != len(ds.Queries) {
+		t.Fatal("ground truth shape")
+	}
+	if got := Evaluate(truth, truth); got.HR10 != 1 {
+		t.Errorf("self HR@10 = %v", got.HR10)
+	}
+}
+
+func TestProjectLonLat(t *testing.T) {
+	p := ProjectLonLat(-8.61, 41.15, 41.15) // Porto
+	q := ProjectLonLat(-8.60, 41.15, 41.15)
+	d := p.Dist(q)
+	// 0.01 degrees of longitude at 41N is ~838 m.
+	if d < 700 || d > 950 {
+		t.Errorf("0.01 deg lon = %v m", d)
+	}
+}
+
+func TestIndexLifecycle(t *testing.T) {
+	m, ds := facadeFixture(t)
+	ix, err := NewIndex(m, ds.Database)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != len(ds.Database) {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	q := ds.Queries[0]
+	eu := ix.SearchEuclidean(q, 5)
+	ham := ix.SearchHamming(q, 5)
+	hyb := ix.SearchHybrid(q, 5)
+	for _, res := range [][]Result{eu, ham, hyb} {
+		if len(res) != 5 {
+			t.Fatalf("result len = %d", len(res))
+		}
+		for i := 1; i < len(res); i++ {
+			if res[i].Score < res[i-1].Score {
+				t.Error("results not sorted by score")
+			}
+		}
+	}
+	// Hamming score is a true Hamming distance.
+	qc := m.Code(q)
+	for _, r := range ham {
+		if int(r.Score) != HammingDistance(qc, m.Code(ix.Trajectory(r.ID))) {
+			t.Error("Hamming score mismatch")
+		}
+	}
+	// ApproxDistance consistent with Euclidean search score.
+	if d := ix.ApproxDistance(q, eu[0].ID); math.Abs(d*d-eu[0].Score) > 1e-6*(1+eu[0].Score) {
+		t.Errorf("ApproxDistance² %v != score %v", d*d, eu[0].Score)
+	}
+	if len(ix.Embedding(0)) == 0 {
+		t.Error("Embedding accessor empty")
+	}
+}
+
+func TestIndexIncrementalAdd(t *testing.T) {
+	m, ds := facadeFixture(t)
+	ix, err := NewIndex(m, ds.Database[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert the query itself: it must become the top hit everywhere.
+	q := ds.Queries[1]
+	id, err := ix.Add(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 10 || ix.Len() != 11 {
+		t.Fatalf("id=%d len=%d", id, ix.Len())
+	}
+	if got := ix.SearchEuclidean(q, 1); got[0].ID != id || got[0].Score > 1e-9 {
+		t.Errorf("Euclidean self = %+v", got[0])
+	}
+	if got := ix.SearchHamming(q, 1); got[0].ID != id || got[0].Score != 0 {
+		t.Errorf("Hamming self = %+v", got[0])
+	}
+	if got := ix.SearchHybrid(q, 1); got[0].ID != id {
+		t.Errorf("Hybrid self = %+v", got[0])
+	}
+}
+
+func TestIndexWithinAndCode(t *testing.T) {
+	m, ds := facadeFixture(t)
+	ix, err := NewIndex(m, ds.Database)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An indexed trajectory is within radius 0 of itself.
+	q := ds.Database[3]
+	found := false
+	for _, id := range ix.Within(q, 0) {
+		if id == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Within(self, 0) missing self")
+	}
+	// Radii are monotone.
+	prev := 0
+	for r := 0; r <= 2; r++ {
+		n := len(ix.Within(q, r))
+		if n < prev {
+			t.Errorf("Within not monotone: %d then %d", prev, n)
+		}
+		prev = n
+	}
+	if ix.Code(q).Bits != m.Cfg.HashBits {
+		t.Error("Code bits mismatch")
+	}
+}
+
+func TestEmbedAllParallelMatches(t *testing.T) {
+	m, ds := facadeFixture(t)
+	seq := m.EmbedAll(ds.Database[:8])
+	par := m.EmbedAllParallel(ds.Database[:8], 4)
+	for i := range seq {
+		for j := range seq[i] {
+			if seq[i][j] != par[i][j] {
+				t.Fatalf("parallel embedding differs at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestFacadeFilesAndCities(t *testing.T) {
+	if ChengDu().Name != "ChengDu" || Porto().Name != "Porto" {
+		t.Error("city constructors wrong")
+	}
+	m, ds := facadeFixture(t)
+	dir := t.TempDir()
+	if err := m.SaveFile(dir + "/m.gob"); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadModelFile(dir + "/m.gob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Embed(ds.Queries[0])) != len(m.Embed(ds.Queries[0])) {
+		t.Error("file round trip dims differ")
+	}
+	if err := ds.Save(dir + "/ds.gob"); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := LoadDataset(dir + "/ds.gob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds2.Database) != len(ds.Database) {
+		t.Error("dataset round trip differs")
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	m, ds := facadeFixture(t)
+	if _, err := NewIndex(nil, ds.Database); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewIndex(m, nil); err == nil {
+		t.Error("empty database accepted")
+	}
+}
