@@ -16,15 +16,18 @@
 package traj2hash
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
 	"traj2hash/internal/core"
 	"traj2hash/internal/data"
 	"traj2hash/internal/dist"
+	"traj2hash/internal/engine"
 	"traj2hash/internal/experiments"
 	"traj2hash/internal/geo"
 	"traj2hash/internal/hamming"
@@ -257,6 +260,100 @@ func BenchmarkSearchLongCodes64(b *testing.B) {
 			mih.Search(0, 50)
 		}
 	})
+}
+
+// BenchmarkEngineSearchBatch measures batch-query throughput of the
+// sharded query engine: the same 64-query batch answered sequentially
+// (workers=1) versus fanned out across all cores (workers=GOMAXPROCS),
+// over 1 and 4 shards. On a machine with ≥4 cores the parallel cases
+// should approach a cores-fold speedup on the CPU-bound euclidean-bf
+// scan; the Hamming backends are memory-light and scale similarly.
+func BenchmarkEngineSearchBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const (
+		n   = 20000
+		dim = 32
+		nq  = 64
+		k   = 50
+	)
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		vecs[i] = v
+	}
+	queries := make([]engine.Query, nq)
+	for i := range queries {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		queries[i] = engine.Query{Emb: v, Code: hamming.FromSigns(v)}
+	}
+	maxWorkers := runtime.GOMAXPROCS(0)
+	for _, backend := range []string{engine.EuclideanBFName, engine.HammingHybridName} {
+		for _, cfg := range []struct{ shards, workers int }{
+			{1, 1}, {1, maxWorkers}, {4, maxWorkers},
+		} {
+			e, err := engine.New(engine.Options{
+				Backends: []string{backend},
+				Shards:   cfg.shards,
+				Workers:  cfg.workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.AddBatch(vecs, nil); err != nil {
+				b.Fatal(err)
+			}
+			name := fmt.Sprintf("%s/shards=%d/workers=%d", backend, cfg.shards, cfg.workers)
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					e.SearchBatch(queries, k)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEngineShardFanout measures single-query latency as shards
+// grow: the per-query fan-out turns one long scan into Shards shorter
+// scans executed in parallel.
+func BenchmarkEngineShardFanout(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const n, dim = 20000, 32
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		vecs[i] = v
+	}
+	qv := make([]float64, dim)
+	for j := range qv {
+		qv[j] = rng.NormFloat64()
+	}
+	q := engine.Query{Emb: qv, Code: hamming.FromSigns(qv)}
+	for _, shards := range []int{1, 2, 4, 8} {
+		e, err := engine.New(engine.Options{
+			Backends: []string{engine.EuclideanBFName},
+			Shards:   shards,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.AddBatch(vecs, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.Search(q, 50)
+			}
+		})
+	}
 }
 
 func BenchmarkTripletGeneration(b *testing.B) {

@@ -13,14 +13,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"traj2hash"
 	"traj2hash/internal/core"
 	"traj2hash/internal/data"
 	"traj2hash/internal/dist"
 	"traj2hash/internal/experiments"
 	"traj2hash/internal/geo"
-	"traj2hash/internal/search"
 )
 
 func main() {
@@ -225,8 +226,11 @@ func cmdSearch(args []string) error {
 	modelPath := fs.String("model", "model.gob", "trained model path")
 	in := fs.String("data", "dataset.gob", "dataset path; queries search its database split")
 	k := fs.Int("k", 10, "number of results per query")
-	strategy := fs.String("strategy", "hamming-hybrid", "euclidean-bf | hamming-bf | hamming-hybrid")
+	strategy := fs.String("strategy", "hamming-hybrid",
+		"search backend: "+strings.Join(traj2hash.Backends(), " | "))
 	numQueries := fs.Int("queries", 5, "number of queries to run")
+	workers := fs.Int("workers", 0, "parallel workers for embedding and search (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 1, "database shards (queries fan out across shards in parallel)")
 	fs.Parse(args)
 
 	m, err := core.LoadFile(*modelPath)
@@ -242,30 +246,38 @@ func cmdSearch(args []string) error {
 		queries = queries[:*numQueries]
 	}
 
-	var s search.Searcher
-	switch *strategy {
-	case "euclidean-bf":
-		s, err = search.NewEuclideanBF(m.EmbedAll(ds.Database), m.EmbedAll(queries))
-	case "hamming-bf":
-		s, err = search.NewHammingBF(m.CodeAll(ds.Database), m.CodeAll(queries))
-	case "hamming-hybrid":
-		s, err = search.NewHammingHybrid(m.CodeAll(ds.Database), m.CodeAll(queries))
-	default:
-		return fmt.Errorf("unknown strategy %q", *strategy)
-	}
+	// The CLI serves queries through the same engine as the public API:
+	// the -strategy backend behind a sharded, concurrent index.
+	buildStart := time.Now()
+	idx, err := traj2hash.NewIndexWith(m, ds.Database, traj2hash.Options{
+		Backend: *strategy,
+		Shards:  *shards,
+		Workers: *workers,
+	})
 	if err != nil {
 		return err
 	}
+	fmt.Printf("indexed %d trajectories in %v (%s backend, %d shard(s))\n",
+		idx.Len(), time.Since(buildStart).Round(time.Millisecond), idx.Backend(), *shards)
+
 	start := time.Now()
-	results := search.RunAll(s, len(queries), *k)
+	results := idx.SearchBatch(queries, *k)
 	elapsed := time.Since(start)
-	for qi, ids := range results {
+	for qi, res := range results {
+		ids := make([]int, len(res))
+		for i, r := range res {
+			ids[i] = r.ID
+		}
 		fmt.Printf("query %d (%d points): top-%d database ids %v\n", qi, len(queries[qi]), *k, ids)
 	}
-	fmt.Printf("%s: %d queries in %v (%v/query)\n",
-		s.Name(), len(queries), elapsed.Round(time.Microsecond), (elapsed / time.Duration(len(queries))).Round(time.Microsecond))
-	if hh, ok := s.(*search.HammingHybrid); ok {
-		fmt.Printf("hybrid fast path used for %d/%d queries\n", hh.FastPathCount, len(queries))
+	fmt.Printf("%s: %d queries (embed+search) in %v (%v/query)\n",
+		idx.Backend(), len(queries), elapsed.Round(time.Microsecond),
+		(elapsed / time.Duration(len(queries))).Round(time.Microsecond))
+	if *strategy == traj2hash.BackendHammingHybrid || *strategy == "" {
+		// One count per per-shard lookup, so the total can exceed the
+		// query count when the index is sharded.
+		fmt.Printf("hybrid fast-path hits: %d (%d queries x %d shards)\n",
+			idx.HybridFastPaths(), len(queries), *shards)
 	}
 	return nil
 }

@@ -88,4 +88,18 @@ func main() {
 		metrics := traj2hash.Evaluate(returned, truth)
 		fmt.Printf("%-16s %12v %10.3f\n", s.name, per.Round(time.Microsecond), metrics.HR10)
 	}
+
+	// Learned distance estimates for the top hits. ApproxDistanceByVec
+	// reuses the query embeddings computed once above — calling
+	// ApproxDistance inside a loop would re-encode the query every
+	// iteration (a full encoder forward pass per call).
+	var meanTop, meanTen float64
+	for qi := range ds.Queries {
+		hits := idx.SearchEuclideanByVec(qVecs[qi], k)
+		meanTop += idx.ApproxDistanceByVec(qVecs[qi], hits[0].ID)
+		meanTen += idx.ApproxDistanceByVec(qVecs[qi], hits[len(hits)-1].ID)
+	}
+	nq := float64(len(ds.Queries))
+	fmt.Printf("\nlearned distance estimates: top-1 %.2f, top-%d %.2f (mean over %d queries)\n",
+		meanTop/nq, k, meanTen/nq, len(ds.Queries))
 }

@@ -72,9 +72,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Embed each query trace once, then both search and score the link
+	// from that embedding: SearchHybridByCode + ApproxDistanceByVec avoid
+	// re-running the encoder per call inside the loop (ApproxDistance and
+	// SearchHybrid would each pay a full forward pass every iteration).
 	var top1, top5 int
+	var linkDist float64
 	for i := 0; i < numEntities; i++ {
-		res := idx.SearchHybrid(datasetA[i], 5)
+		qe := m.Embed(datasetA[i])
+		res := idx.SearchHybridByCode(traj2hash.SignCode(qe), 5)
 		if len(res) > 0 && res[0].ID == i {
 			top1++
 		}
@@ -84,8 +90,12 @@ func main() {
 				break
 			}
 		}
+		if len(res) > 0 {
+			linkDist += idx.ApproxDistanceByVec(qe, res[0].ID)
+		}
 	}
 	fmt.Printf("entity linking over %d objects across two sensor networks:\n", numEntities)
 	fmt.Printf("  correct at rank 1: %d/%d (%.0f%%)\n", top1, numEntities, 100*float64(top1)/numEntities)
 	fmt.Printf("  correct in top 5:  %d/%d (%.0f%%)\n", top5, numEntities, 100*float64(top5)/numEntities)
+	fmt.Printf("  mean learned distance of rank-1 links: %.2f\n", linkDist/numEntities)
 }

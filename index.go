@@ -3,62 +3,148 @@ package traj2hash
 import (
 	"fmt"
 	"math"
+	"sync"
 
+	"traj2hash/internal/engine"
 	"traj2hash/internal/hamming"
-	"traj2hash/internal/topk"
 )
 
 // Result is one search hit: the database id and the score under the
-// strategy that produced it (squared Euclidean distance for
-// SearchEuclidean; Hamming distance for the Hamming strategies — smaller
-// is more similar in both cases).
+// backend that produced it (squared Euclidean distance for the Euclidean
+// backends; Hamming distance for the Hamming backends — smaller is more
+// similar in both cases).
 type Result struct {
 	ID    int
 	Score float64
 }
 
-// Index is a searchable trajectory database: it stores each trajectory's
-// Euclidean-space embedding and Hamming-space code and answers top-k
-// similar-trajectory queries with any of the paper's three strategies.
-// Trajectories can be added incrementally.
-type Index struct {
-	model *Model
-	trajs []Trajectory
-	embs  [][]float64
-	table *hamming.Table
+// The search backends selectable through Options.Backend (and the CLI
+// -strategy flag). The first three are the paper's Section V-E
+// strategies; MIH and VPTree are the library's sublinear extensions.
+const (
+	BackendEuclideanBF   = engine.EuclideanBFName   // exact scan over embeddings
+	BackendHammingBF     = engine.HammingBFName     // popcount scan over codes
+	BackendHammingHybrid = engine.HammingHybridName // radius-2 lookup w/ scan fallback
+	BackendMIH           = engine.MIHName           // multi-index hashing
+	BackendVPTree        = engine.VPTreeName        // vantage-point tree
+)
+
+// Backends returns the names of all registered search backends, sorted.
+func Backends() []string { return engine.BackendNames() }
+
+// Options configures an Index. The zero value is valid: Hamming-Hybrid
+// search on a single shard with GOMAXPROCS workers.
+type Options struct {
+	// Backend selects the strategy used by Search/SearchBatch; see the
+	// Backend* constants. Empty means BackendHammingHybrid. The
+	// strategy-specific methods (SearchEuclidean, SearchHamming,
+	// SearchHybrid) remain available regardless of this choice.
+	Backend string
+	// Shards partitions the database; queries fan out across shards in
+	// parallel and adds only lock one shard. ≤ 0 means 1.
+	Shards int
+	// Workers bounds the index's parallelism: batch embedding, the
+	// per-query shard fan-out, and the SearchBatch query fan-out.
+	// ≤ 0 means GOMAXPROCS.
+	Workers int
+	// MIHChunks is the substring count of the MIH backend (0 = auto).
+	MIHChunks int
+	// VPTreeSeed seeds vantage-point sampling of the VPTree backend.
+	VPTreeSeed int64
 }
 
-// NewIndex embeds and indexes the given trajectories with a trained model.
-// At least one trajectory is required (the Hamming table needs a code
-// length); use Add for subsequent insertions.
+// Index is a searchable trajectory database: it stores each trajectory's
+// Euclidean-space embedding and Hamming-space code and answers top-k
+// similar-trajectory queries with any registered search backend. It is a
+// thin facade over the sharded internal query engine and is safe for
+// concurrent use: any number of goroutines may Add and Search at once
+// (training the model concurrently is not).
+type Index struct {
+	model *Model
+	opts  Options
+	eng   *engine.Engine
+
+	mu    sync.RWMutex // guards trajs and embs
+	trajs []Trajectory
+	embs  [][]float64
+}
+
+// NewIndex embeds and indexes the given trajectories with a trained model
+// and default Options. At least one trajectory is required; use Add or
+// AddBatch for subsequent insertions.
 func NewIndex(m *Model, ts []Trajectory) (*Index, error) {
-	if m == nil {
-		return nil, fmt.Errorf("traj2hash: nil model")
-	}
 	if len(ts) == 0 {
 		return nil, fmt.Errorf("traj2hash: empty initial database")
 	}
-	ix := &Index{model: m}
-	embs := make([][]float64, len(ts))
-	codes := make([]hamming.Code, len(ts))
-	for i, t := range ts {
-		embs[i] = m.Embed(t)
-		codes[i] = hamming.FromSigns(embs[i])
+	return NewIndexWith(m, ts, Options{})
+}
+
+// NewIndexWith embeds and indexes the given trajectories (which may be
+// empty) with explicit Options. The initial batch is embedded in parallel
+// across opts.Workers goroutines.
+func NewIndexWith(m *Model, ts []Trajectory, opts Options) (*Index, error) {
+	if m == nil {
+		return nil, fmt.Errorf("traj2hash: nil model")
 	}
-	table, err := hamming.NewTable(codes)
+	backend := opts.Backend
+	if backend == "" {
+		backend = BackendHammingHybrid
+	}
+	eng, err := engine.New(engine.Options{
+		// The configured backend serves Search/SearchBatch; the three
+		// paper strategies are always maintained (the scans cost only a
+		// slice header each; the hybrid table also serves Within).
+		Backends: []string{backend, BackendEuclideanBF, BackendHammingBF, BackendHammingHybrid},
+		Shards:   opts.Shards,
+		Workers:  opts.Workers,
+		Config: engine.Config{
+			Bits:      m.Cfg.HashBits,
+			MIHChunks: opts.MIHChunks,
+			VPSeed:    opts.VPTreeSeed,
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
-	ix.trajs = append(ix.trajs, ts...)
-	ix.embs = embs
-	ix.table = table
+	ix := &Index{model: m, opts: opts, eng: eng}
+	if _, err := ix.AddBatch(ts); err != nil {
+		return nil, err
+	}
 	return ix, nil
 }
 
 // Add embeds and indexes one more trajectory, returning its id.
 func (ix *Index) Add(t Trajectory) (int, error) {
 	emb := ix.model.Embed(t)
-	id, err := ix.table.Add(hamming.FromSigns(emb))
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.add(t, emb)
+}
+
+// AddBatch embeds (in parallel, across the index's worker budget) and
+// indexes a batch of trajectories, returning their ids.
+func (ix *Index) AddBatch(ts []Trajectory) ([]int, error) {
+	if len(ts) == 0 {
+		return nil, nil
+	}
+	embs := ix.model.EmbedAllParallel(ts, ix.opts.Workers)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ids := make([]int, len(ts))
+	for i, t := range ts {
+		id, err := ix.add(t, embs[i])
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+// add indexes one embedded trajectory; callers hold ix.mu, which keeps
+// the engine's sequential ids aligned with ix.trajs/ix.embs positions.
+func (ix *Index) add(t Trajectory, emb []float64) (int, error) {
+	id, err := ix.eng.Add(emb, hamming.FromSigns(emb))
 	if err != nil {
 		return 0, err
 	}
@@ -68,19 +154,65 @@ func (ix *Index) Add(t Trajectory) (int, error) {
 }
 
 // Len returns the number of indexed trajectories.
-func (ix *Index) Len() int { return len(ix.trajs) }
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.trajs)
+}
 
 // Trajectory returns the indexed trajectory with the given id.
-func (ix *Index) Trajectory(id int) Trajectory { return ix.trajs[id] }
+func (ix *Index) Trajectory(id int) Trajectory {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.trajs[id]
+}
 
 // Embedding returns the stored Euclidean-space embedding of id.
-func (ix *Index) Embedding(id int) []float64 { return ix.embs[id] }
+func (ix *Index) Embedding(id int) []float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.embs[id]
+}
+
+// Backend returns the name of the backend serving Search/SearchBatch.
+func (ix *Index) Backend() string { return ix.eng.Backends()[0] }
+
+// Search returns the k most similar trajectories under the configured
+// backend (Options.Backend). The query is embedded on the fly; to
+// amortize encoding over repeated searches, embed once with the Model and
+// use SearchByVec.
+func (ix *Index) Search(q Trajectory, k int) []Result {
+	return ix.SearchByVec(ix.model.Embed(q), k)
+}
+
+// SearchByVec is Search with a precomputed query embedding (from
+// Model.Embed). The Hamming code is derived from the embedding's signs,
+// so one forward pass serves every backend.
+func (ix *Index) SearchByVec(qe []float64, k int) []Result {
+	return toResults(ix.eng.Search(engine.Query{Emb: qe, Code: hamming.FromSigns(qe)}, k))
+}
+
+// SearchBatch answers many queries under the configured backend,
+// embedding the queries in parallel (nn.ForwardParallel under the hood)
+// and fanning the searches out across the index's worker budget. Results
+// are in query order.
+func (ix *Index) SearchBatch(qs []Trajectory, k int) [][]Result {
+	embs := ix.model.EmbedAllParallel(qs, ix.opts.Workers)
+	queries := make([]engine.Query, len(embs))
+	for i, e := range embs {
+		queries[i] = engine.Query{Emb: e, Code: hamming.FromSigns(e)}
+	}
+	batches := ix.eng.SearchBatch(queries, k)
+	out := make([][]Result, len(batches))
+	for i, rs := range batches {
+		out[i] = toResults(rs)
+	}
+	return out
+}
 
 // SearchEuclidean returns the k most similar trajectories by embedding
 // distance (Euclidean-BF): exact over the learned space, highest accuracy,
-// linear scan cost. The query is embedded on the fly; to amortize encoding
-// over repeated searches, embed once with the Model and use
-// SearchEuclideanByVec.
+// linear scan cost.
 func (ix *Index) SearchEuclidean(q Trajectory, k int) []Result {
 	return ix.SearchEuclideanByVec(ix.model.Embed(q), k)
 }
@@ -88,15 +220,8 @@ func (ix *Index) SearchEuclidean(q Trajectory, k int) []Result {
 // SearchEuclideanByVec is SearchEuclidean with a precomputed query
 // embedding (from Model.Embed).
 func (ix *Index) SearchEuclideanByVec(qe []float64, k int) []Result {
-	items := topk.Select(len(ix.embs), k, func(i int) float64 {
-		var sum float64
-		for j := range qe {
-			d := qe[j] - ix.embs[i][j]
-			sum += d * d
-		}
-		return sum
-	})
-	return toResults(items)
+	rs, _ := ix.eng.SearchWith(BackendEuclideanBF, engine.Query{Emb: qe}, k)
+	return toResults(rs)
 }
 
 // SearchHamming returns the k most similar trajectories by Hamming distance
@@ -107,9 +232,10 @@ func (ix *Index) SearchHamming(q Trajectory, k int) []Result {
 }
 
 // SearchHammingByCode is SearchHamming with a precomputed query code (from
-// Model.Code).
+// Model.Code or SignCode).
 func (ix *Index) SearchHammingByCode(qc Code, k int) []Result {
-	return neighborsToResults(ix.table.BruteForce(qc, k))
+	rs, _ := ix.eng.SearchWith(BackendHammingBF, engine.Query{Code: qc}, k)
+	return toResults(rs)
 }
 
 // SearchHybrid returns the k most similar trajectories with the paper's
@@ -122,45 +248,53 @@ func (ix *Index) SearchHybrid(q Trajectory, k int) []Result {
 
 // SearchHybridByCode is SearchHybrid with a precomputed query code.
 func (ix *Index) SearchHybridByCode(qc Code, k int) []Result {
-	ns, _ := ix.table.Hybrid(qc, k)
-	return neighborsToResults(ns)
+	rs, _ := ix.eng.SearchWith(BackendHammingHybrid, engine.Query{Code: qc}, k)
+	return toResults(rs)
 }
+
+// HybridFastPaths reports how many hybrid searches (across all shards)
+// were answered via table lookup rather than the brute-force fallback.
+func (ix *Index) HybridFastPaths() int64 { return ix.eng.FastPathCount() }
 
 // Within returns the ids of indexed trajectories whose hash codes lie
 // within the given Hamming radius (0–2) of the query's code — the bucket
 // neighborhood used for gathering-pattern style grouping (see
-// examples/clustering).
+// examples/clustering). Ids are sorted ascending.
 func (ix *Index) Within(q Trajectory, radius int) []int {
-	return ix.table.LookupRadius(ix.model.Code(q), radius)
+	ids, _ := ix.eng.Within(ix.model.Code(q), radius)
+	return ids
 }
 
 // Code returns the query's Hamming code under the index's model.
 func (ix *Index) Code(q Trajectory) Code { return ix.model.Code(q) }
 
 // ApproxDistance returns the index's learned approximation of the
-// trajectory distance between the query and an indexed trajectory.
+// trajectory distance between the query and an indexed trajectory. It
+// embeds the query on every call; inside loops over many ids, embed once
+// and use ApproxDistanceByVec.
 func (ix *Index) ApproxDistance(q Trajectory, id int) float64 {
-	qe := ix.model.Embed(q)
+	return ix.ApproxDistanceByVec(ix.model.Embed(q), id)
+}
+
+// ApproxDistanceByVec is ApproxDistance with a precomputed query
+// embedding (from Model.Embed), amortizing the encoder forward pass over
+// repeated distance evaluations.
+func (ix *Index) ApproxDistanceByVec(qe []float64, id int) float64 {
+	ix.mu.RLock()
+	emb := ix.embs[id]
+	ix.mu.RUnlock()
 	var sum float64
 	for j := range qe {
-		d := qe[j] - ix.embs[id][j]
+		d := qe[j] - emb[j]
 		sum += d * d
 	}
 	return math.Sqrt(sum)
 }
 
-func toResults(items []topk.Item) []Result {
-	out := make([]Result, len(items))
-	for i, it := range items {
-		out[i] = Result{ID: it.ID, Score: it.Dist}
-	}
-	return out
-}
-
-func neighborsToResults(ns []hamming.Neighbor) []Result {
-	out := make([]Result, len(ns))
-	for i, n := range ns {
-		out[i] = Result{ID: n.ID, Score: float64(n.Distance)}
+func toResults(rs []engine.Result) []Result {
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = Result{ID: r.ID, Score: r.Score}
 	}
 	return out
 }

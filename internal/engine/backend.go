@@ -1,0 +1,492 @@
+// Package engine is the unified serving layer of the library: a pluggable
+// Backend interface over the five top-k search strategies (Euclidean
+// brute force, Hamming brute force, Hamming-Hybrid table lookup,
+// multi-index hashing, and a vantage-point tree), a registry that makes
+// them selectable by name, and a sharded, concurrency-safe Engine that
+// partitions the database across shards and fans queries out in parallel.
+//
+// Every consumer of top-k search — the public Index facade, the
+// internal/search strategy adapters used by the efficiency experiments,
+// and the CLI search subcommand — goes through the same backends, so a
+// benchmark of one is a benchmark of all.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"traj2hash/internal/hamming"
+	"traj2hash/internal/topk"
+)
+
+// Query carries both learned representations of an encoded query: the
+// Euclidean-space embedding and the Hamming-space code. Backends read the
+// representation they index; the other may be left zero.
+type Query struct {
+	Emb  []float64
+	Code hamming.Code
+}
+
+// Result is one search hit: the item id and its score under the backend
+// that produced it (squared Euclidean distance for euclidean-bf and
+// vptree, Hamming distance for the Hamming backends — smaller is more
+// similar in all cases). Backends return results sorted ascending by
+// (Score, ID), which makes every backend deterministic under ties and is
+// what lets the sharded Engine merge shard results exactly.
+type Result struct {
+	ID    int
+	Score float64
+}
+
+// Backend is one pluggable top-k search strategy over an append-only
+// item collection. Items get local ids 0,1,2,… in insertion order.
+//
+// Backends are NOT goroutine-safe by themselves: the Engine (or any other
+// caller) must serialize Add against Search. Concurrent Searches are safe.
+type Backend interface {
+	// Name returns the registry name of the strategy.
+	Name() string
+	// Add appends one item. The embedding and code must be consistent
+	// with previously added items (same dimension / bit length).
+	Add(emb []float64, code hamming.Code) error
+	// Search returns the top-k local ids for the query, sorted ascending
+	// by (Score, ID).
+	Search(q Query, k int) []Result
+	// Len returns the number of indexed items.
+	Len() int
+}
+
+// Config carries backend construction parameters.
+type Config struct {
+	// Bits is the hash code length. 0 means infer from the first Add.
+	Bits int
+	// MIHChunks is the substring count of the mih backend. 0 picks a
+	// default (4, widened if needed so every chunk fits in 64 bits).
+	MIHChunks int
+	// VPSeed seeds vantage-point sampling of the vptree backend.
+	VPSeed int64
+}
+
+// Factory builds a fresh, empty backend.
+type Factory func(cfg Config) (Backend, error)
+
+// Canonical backend names.
+const (
+	EuclideanBFName   = "euclidean-bf"
+	HammingBFName     = "hamming-bf"
+	HammingHybridName = "hamming-hybrid"
+	MIHName           = "mih"
+	VPTreeName        = "vptree"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+	aliases  = map[string]string{
+		"hamming-mih": MIHName,
+		"vp-tree":     VPTreeName,
+	}
+)
+
+// Register makes a backend constructible by name. It panics on duplicate
+// registration, mirroring database/sql.Register.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("engine: duplicate backend %q", name))
+	}
+	registry[name] = f
+}
+
+// Resolve canonicalizes a backend name, following aliases.
+func Resolve(name string) (string, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if a, ok := aliases[name]; ok {
+		name = a
+	}
+	if _, ok := registry[name]; !ok {
+		return "", fmt.Errorf("engine: unknown backend %q (have %v)", name, backendNamesLocked())
+	}
+	return name, nil
+}
+
+// NewBackend builds a fresh backend by registry name.
+func NewBackend(name string, cfg Config) (Backend, error) {
+	canonical, err := Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	regMu.RLock()
+	f := registry[canonical]
+	regMu.RUnlock()
+	return f(cfg)
+}
+
+// BackendNames returns the registered backend names, sorted.
+func BackendNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return backendNamesLocked()
+}
+
+func backendNamesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register(EuclideanBFName, func(cfg Config) (Backend, error) {
+		return &EuclideanBF{}, nil
+	})
+	Register(HammingBFName, func(cfg Config) (Backend, error) {
+		return &HammingBF{bits: cfg.Bits}, nil
+	})
+	Register(HammingHybridName, func(cfg Config) (Backend, error) {
+		return &HammingHybrid{bits: cfg.Bits}, nil
+	})
+	Register(MIHName, func(cfg Config) (Backend, error) {
+		return &MIHBackend{bits: cfg.Bits, chunks: cfg.MIHChunks}, nil
+	})
+	Register(VPTreeName, func(cfg Config) (Backend, error) {
+		return &VPTreeBackend{seed: cfg.VPSeed}, nil
+	})
+}
+
+// --- euclidean-bf ---
+
+// EuclideanBF scans all embeddings with squared Euclidean distance — the
+// paper's Euclidean-BF strategy: exact over the learned space, highest
+// accuracy, linear cost.
+type EuclideanBF struct {
+	embs [][]float64
+}
+
+// Name implements Backend.
+func (b *EuclideanBF) Name() string { return EuclideanBFName }
+
+// Len implements Backend.
+func (b *EuclideanBF) Len() int { return len(b.embs) }
+
+// Add implements Backend.
+func (b *EuclideanBF) Add(emb []float64, _ hamming.Code) error {
+	if len(emb) == 0 {
+		return fmt.Errorf("engine: %s needs a non-empty embedding", EuclideanBFName)
+	}
+	if len(b.embs) > 0 && len(emb) != len(b.embs[0]) {
+		return fmt.Errorf("engine: embedding dim %d, want %d", len(emb), len(b.embs[0]))
+	}
+	b.embs = append(b.embs, emb)
+	return nil
+}
+
+// Search implements Backend.
+func (b *EuclideanBF) Search(q Query, k int) []Result {
+	if len(q.Emb) == 0 {
+		return nil
+	}
+	items := topk.Select(len(b.embs), k, func(i int) float64 {
+		return sqDist(q.Emb, b.embs[i])
+	})
+	return itemsToResults(items)
+}
+
+func sqDist(a, b []float64) float64 {
+	var sum float64
+	for j := range a {
+		d := a[j] - b[j]
+		sum += d * d
+	}
+	return sum
+}
+
+// --- hamming-bf ---
+
+// HammingBF scans all binary codes with popcount Hamming distance — the
+// paper's Hamming-BF strategy, ~2× faster than the Euclidean scan.
+type HammingBF struct {
+	bits  int
+	table *hamming.Table
+}
+
+// Name implements Backend.
+func (b *HammingBF) Name() string { return HammingBFName }
+
+// Len implements Backend.
+func (b *HammingBF) Len() int {
+	if b.table == nil {
+		return 0
+	}
+	return b.table.Len()
+}
+
+// Add implements Backend.
+func (b *HammingBF) Add(_ []float64, code hamming.Code) error {
+	t, err := addToTable(&b.table, b.bits, code)
+	if err != nil {
+		return err
+	}
+	b.table = t
+	return nil
+}
+
+// Search implements Backend.
+func (b *HammingBF) Search(q Query, k int) []Result {
+	if b.table == nil || q.Code.Bits == 0 {
+		return nil
+	}
+	return neighborsToResults(b.table.BruteForce(q.Code, k))
+}
+
+// Table exposes the underlying hash table (for the internal/search
+// adapters and diagnostics).
+func (b *HammingBF) Table() *hamming.Table { return b.table }
+
+// addToTable lazily creates the table on the first insert and validates
+// the bit length against want (0 = infer).
+func addToTable(tp **hamming.Table, want int, code hamming.Code) (*hamming.Table, error) {
+	if code.Bits == 0 {
+		return nil, fmt.Errorf("engine: hamming backend needs a non-empty code")
+	}
+	if want > 0 && code.Bits != want {
+		return nil, fmt.Errorf("engine: code has %d bits, backend wants %d", code.Bits, want)
+	}
+	if *tp == nil {
+		return hamming.NewTable([]hamming.Code{code})
+	}
+	if _, err := (*tp).Add(code); err != nil {
+		return nil, err
+	}
+	return *tp, nil
+}
+
+// --- hamming-hybrid ---
+
+// HammingHybrid is the paper's Section V-E hybrid strategy: radius-2
+// table lookup when the neighborhood holds at least k items, brute-force
+// scan otherwise. Its results equal Hamming-BF exactly (both are the true
+// Hamming top-k with ascending-id tie-breaks); only the cost differs.
+type HammingHybrid struct {
+	bits      int
+	table     *hamming.Table
+	fastPaths atomic.Int64
+}
+
+// Name implements Backend.
+func (b *HammingHybrid) Name() string { return HammingHybridName }
+
+// Len implements Backend.
+func (b *HammingHybrid) Len() int {
+	if b.table == nil {
+		return 0
+	}
+	return b.table.Len()
+}
+
+// Add implements Backend.
+func (b *HammingHybrid) Add(_ []float64, code hamming.Code) error {
+	t, err := addToTable(&b.table, b.bits, code)
+	if err != nil {
+		return err
+	}
+	b.table = t
+	return nil
+}
+
+// Search implements Backend.
+func (b *HammingHybrid) Search(q Query, k int) []Result {
+	if b.table == nil || q.Code.Bits == 0 {
+		return nil
+	}
+	ns, fast := b.table.Hybrid(q.Code, k)
+	if fast {
+		b.fastPaths.Add(1)
+	}
+	return neighborsToResults(ns)
+}
+
+// FastPathCount returns how many searches were answered via table lookup
+// rather than the brute-force fallback. Safe to read concurrently.
+func (b *HammingHybrid) FastPathCount() int64 { return b.fastPaths.Load() }
+
+// Within returns the local ids within the given Hamming radius (0–2) of
+// the code, sorted ascending — the bucket-neighborhood primitive behind
+// Index.Within.
+func (b *HammingHybrid) Within(code hamming.Code, radius int) []int {
+	if b.table == nil {
+		return nil
+	}
+	ids := append([]int(nil), b.table.LookupRadius(code, radius)...)
+	sort.Ints(ids)
+	return ids
+}
+
+// Table exposes the underlying hash table.
+func (b *HammingHybrid) Table() *hamming.Table { return b.table }
+
+// --- mih ---
+
+// MIHBackend searches with multi-index hashing (Norouzi et al.): the code
+// is split into chunks, each indexed separately, and candidates are
+// generated by the pigeonhole principle — sublinear on long codes where
+// whole-code radius expansion scans mostly empty buckets.
+type MIHBackend struct {
+	bits   int
+	chunks int
+	idx    *hamming.MIH
+}
+
+// Name implements Backend.
+func (b *MIHBackend) Name() string { return MIHName }
+
+// Len implements Backend.
+func (b *MIHBackend) Len() int {
+	if b.idx == nil {
+		return 0
+	}
+	return b.idx.Len()
+}
+
+// Add implements Backend.
+func (b *MIHBackend) Add(_ []float64, code hamming.Code) error {
+	if code.Bits == 0 {
+		return fmt.Errorf("engine: %s needs a non-empty code", MIHName)
+	}
+	if b.bits > 0 && code.Bits != b.bits {
+		return fmt.Errorf("engine: code has %d bits, backend wants %d", code.Bits, b.bits)
+	}
+	if b.idx == nil {
+		chunks := b.chunks
+		if chunks <= 0 {
+			chunks = defaultMIHChunks(code.Bits)
+		}
+		idx, err := hamming.NewMIH([]hamming.Code{code}, chunks)
+		if err != nil {
+			return err
+		}
+		b.idx = idx
+		return nil
+	}
+	_, err := b.idx.Add(code)
+	return err
+}
+
+// defaultMIHChunks picks 4 substrings, widened when the code is too long
+// for 64-bit chunk words and narrowed for very short codes.
+func defaultMIHChunks(bits int) int {
+	chunks := 4
+	if chunks > bits {
+		chunks = bits
+	}
+	for (bits+chunks-1)/chunks > 64 {
+		chunks++
+	}
+	return chunks
+}
+
+// Search implements Backend.
+func (b *MIHBackend) Search(q Query, k int) []Result {
+	if b.idx == nil || q.Code.Bits == 0 {
+		return nil
+	}
+	return neighborsToResults(b.idx.Search(q.Code, k))
+}
+
+// MIH exposes the underlying multi-index (for the internal/search
+// adapters and diagnostics).
+func (b *MIHBackend) MIH() *hamming.MIH { return b.idx }
+
+// --- vptree ---
+
+// VPTreeBackend answers exact Euclidean k-NN with a vantage-point tree
+// over the embeddings — triangle-inequality pruning instead of a linear
+// scan. The tree is rebuilt lazily on the first Search after an Add
+// (vantage-point trees do not insert incrementally), so bulk-load-then-
+// search workloads pay one build.
+type VPTreeBackend struct {
+	seed int64
+	vecs [][]float64
+
+	// mu guards the lazy rebuild: concurrent Searches may race to build
+	// the tree; Add (serialized against Search by the Engine) invalidates
+	// it. The tree itself is immutable once built.
+	mu   sync.Mutex
+	tree *VPTree
+}
+
+// Name implements Backend.
+func (b *VPTreeBackend) Name() string { return VPTreeName }
+
+// Len implements Backend.
+func (b *VPTreeBackend) Len() int { return len(b.vecs) }
+
+// Add implements Backend.
+func (b *VPTreeBackend) Add(emb []float64, _ hamming.Code) error {
+	if len(emb) == 0 {
+		return fmt.Errorf("engine: %s needs a non-empty embedding", VPTreeName)
+	}
+	if len(b.vecs) > 0 && len(emb) != len(b.vecs[0]) {
+		return fmt.Errorf("engine: embedding dim %d, want %d", len(emb), len(b.vecs[0]))
+	}
+	b.vecs = append(b.vecs, emb)
+	b.mu.Lock()
+	b.tree = nil
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *VPTreeBackend) ensure() *VPTree {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tree == nil {
+		t, err := NewVPTree(b.vecs, b.seed)
+		if err != nil {
+			return nil // unreachable: Add validated dims and vecs non-empty
+		}
+		b.tree = t
+	}
+	return b.tree
+}
+
+// Search implements Backend. Scores are squared Euclidean distances,
+// matching the euclidean-bf backend.
+func (b *VPTreeBackend) Search(q Query, k int) []Result {
+	if len(b.vecs) == 0 || len(q.Emb) == 0 || k <= 0 {
+		return nil
+	}
+	tree := b.ensure()
+	if tree == nil {
+		return nil
+	}
+	ids, _ := tree.Search(q.Emb, k)
+	out := make([]Result, len(ids))
+	for i, id := range ids {
+		out[i] = Result{ID: id, Score: sqDist(q.Emb, b.vecs[id])}
+	}
+	return out
+}
+
+// --- shared conversions ---
+
+func itemsToResults(items []topk.Item) []Result {
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{ID: it.ID, Score: it.Dist}
+	}
+	return out
+}
+
+func neighborsToResults(ns []hamming.Neighbor) []Result {
+	out := make([]Result, len(ns))
+	for i, n := range ns {
+		out[i] = Result{ID: n.ID, Score: float64(n.Distance)}
+	}
+	return out
+}

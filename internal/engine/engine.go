@@ -1,0 +1,372 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"traj2hash/internal/hamming"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Backends are the registry names of the backends every shard
+	// maintains. Backends[0] is the default used by Search/SearchBatch.
+	// Empty means {hamming-hybrid}.
+	Backends []string
+	// Shards is the number of database partitions (default 1). Items are
+	// assigned round-robin, so shard loads stay balanced under any
+	// insertion pattern and per-shard id order follows global id order.
+	Shards int
+	// Workers bounds the engine's parallelism: the per-query shard
+	// fan-out and the SearchBatch query fan-out (default GOMAXPROCS).
+	Workers int
+	// Config carries backend construction parameters.
+	Config Config
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Backends) == 0 {
+		o.Backends = []string{HammingHybridName}
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// shard is one partition of the database: the global ids of its items
+// (ascending, thanks to round-robin assignment under the add lock) and
+// one backend instance per configured backend name.
+type shard struct {
+	mu       sync.RWMutex
+	ids      []int
+	backends []Backend
+}
+
+// Engine is a sharded, concurrency-safe top-k query engine. Every shard
+// maintains the same set of pluggable backends over its partition of the
+// items; a query fans out across shards in parallel and the per-shard
+// top-k lists are merged by (score, id) into the exact global top-k.
+//
+// Add and Search may be called concurrently from any number of
+// goroutines: a per-shard RWMutex serializes writes against reads, and a
+// global add lock keeps id assignment strictly sequential.
+type Engine struct {
+	opts  Options
+	names []string // canonical backend names, parallel to shard.backends
+
+	addMu sync.Mutex
+	next  int // next global id, guarded by addMu
+
+	shards []*shard
+}
+
+// New builds an empty engine. Backend names are canonicalized and
+// deduplicated, preserving order (the first stays the default).
+func New(opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	var names []string
+	seen := map[string]bool{}
+	for _, n := range opts.Backends {
+		canonical, err := Resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[canonical] {
+			seen[canonical] = true
+			names = append(names, canonical)
+		}
+	}
+	e := &Engine{opts: opts, names: names}
+	for s := 0; s < opts.Shards; s++ {
+		sh := &shard{}
+		for _, n := range names {
+			b, err := NewBackend(n, opts.Config)
+			if err != nil {
+				return nil, err
+			}
+			sh.backends = append(sh.backends, b)
+		}
+		e.shards = append(e.shards, sh)
+	}
+	return e, nil
+}
+
+// Backends returns the canonical backend names the engine maintains; the
+// first is the default.
+func (e *Engine) Backends() []string { return append([]string(nil), e.names...) }
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Len returns the number of indexed items.
+func (e *Engine) Len() int {
+	e.addMu.Lock()
+	defer e.addMu.Unlock()
+	return e.next
+}
+
+// Add indexes one item in every backend of its shard and returns its
+// global id. Ids are assigned sequentially from 0 in call order. If the
+// code is zero, it is derived from the embedding's signs (the model's
+// Code = sign(Embed) convention).
+func (e *Engine) Add(emb []float64, code hamming.Code) (int, error) {
+	if len(emb) == 0 {
+		return 0, fmt.Errorf("engine: empty embedding")
+	}
+	if code.Bits == 0 {
+		code = hamming.FromSigns(emb)
+	}
+	e.addMu.Lock()
+	defer e.addMu.Unlock()
+	id := e.next
+	sh := e.shards[id%len(e.shards)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i, b := range sh.backends {
+		if err := b.Add(emb, code); err != nil {
+			// Roll back the backends that already accepted the item would
+			// require removal support; instead verify up-front invariants
+			// failed and surface the inconsistency loudly.
+			if i > 0 {
+				return 0, fmt.Errorf("engine: shard inconsistent after partial add: %w", err)
+			}
+			return 0, err
+		}
+	}
+	sh.ids = append(sh.ids, id)
+	e.next++
+	return id, nil
+}
+
+// AddBatch indexes a batch, returning the assigned ids. codes may be nil
+// (derived from embedding signs).
+func (e *Engine) AddBatch(embs [][]float64, codes []hamming.Code) ([]int, error) {
+	if codes != nil && len(codes) != len(embs) {
+		return nil, fmt.Errorf("engine: %d embeddings but %d codes", len(embs), len(codes))
+	}
+	ids := make([]int, len(embs))
+	for i, emb := range embs {
+		var c hamming.Code
+		if codes != nil {
+			c = codes[i]
+		}
+		id, err := e.Add(emb, c)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+// backendIndex resolves a backend name to its slot in every shard.
+func (e *Engine) backendIndex(name string) (int, error) {
+	canonical, err := Resolve(name)
+	if err != nil {
+		return 0, err
+	}
+	for i, n := range e.names {
+		if n == canonical {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: backend %q not maintained by this engine (have %v)", name, e.names)
+}
+
+// Search answers a top-k query with the default backend.
+func (e *Engine) Search(q Query, k int) []Result {
+	rs, _ := e.SearchWith(e.names[0], q, k)
+	return rs
+}
+
+// SearchWith answers a top-k query with the named backend, fanning out
+// across shards in parallel and merging per-shard candidates into the
+// exact global top-k by (score, id).
+func (e *Engine) SearchWith(name string, q Query, k int) ([]Result, error) {
+	bi, err := e.backendIndex(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.searchShards(bi, q, k), nil
+}
+
+func (e *Engine) searchShards(bi int, q Query, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	per := make([][]Result, len(e.shards))
+	searchOne := func(si int) {
+		sh := e.shards[si]
+		sh.mu.RLock()
+		rs := sh.backends[bi].Search(q, k)
+		out := make([]Result, len(rs))
+		for i, r := range rs {
+			out[i] = Result{ID: sh.ids[r.ID], Score: r.Score}
+		}
+		sh.mu.RUnlock()
+		per[si] = out
+	}
+	runIndexed(len(e.shards), e.opts.Workers, searchOne)
+	return mergeTopK(per, k)
+}
+
+// SearchBatch answers many queries with the default backend, parallelized
+// across queries by the engine's worker budget. Results are returned in
+// query order.
+func (e *Engine) SearchBatch(qs []Query, k int) [][]Result {
+	rs, _ := e.SearchBatchWith(e.names[0], qs, k)
+	return rs
+}
+
+// SearchBatchWith is SearchBatch with an explicit backend. Each worker
+// walks the shards of its query sequentially — parallelism comes from
+// query-level fan-out, which scales better than nested fan-out when the
+// batch is larger than the worker budget.
+func (e *Engine) SearchBatchWith(name string, qs []Query, k int) ([][]Result, error) {
+	bi, err := e.backendIndex(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Result, len(qs))
+	runIndexed(len(qs), e.opts.Workers, func(qi int) {
+		out[qi] = e.searchShardsSeq(bi, qs[qi], k)
+	})
+	return out, nil
+}
+
+// searchShardsSeq is searchShards without the per-shard goroutine fan-out.
+func (e *Engine) searchShardsSeq(bi int, q Query, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	per := make([][]Result, len(e.shards))
+	for si, sh := range e.shards {
+		sh.mu.RLock()
+		rs := sh.backends[bi].Search(q, k)
+		out := make([]Result, len(rs))
+		for i, r := range rs {
+			out[i] = Result{ID: sh.ids[r.ID], Score: r.Score}
+		}
+		sh.mu.RUnlock()
+		per[si] = out
+	}
+	return mergeTopK(per, k)
+}
+
+// radiusSearcher is the optional interface of backends that support
+// bucket-neighborhood lookups (hamming-hybrid).
+type radiusSearcher interface {
+	Within(code hamming.Code, radius int) []int
+}
+
+// Within returns the global ids whose codes lie within the given Hamming
+// radius (0–2) of the query code, sorted ascending. It requires a backend
+// supporting radius lookups (hamming-hybrid) among the engine's backends.
+func (e *Engine) Within(code hamming.Code, radius int) ([]int, error) {
+	bi := -1
+	for i := range e.names {
+		if _, ok := e.shards[0].backends[i].(radiusSearcher); ok {
+			bi = i
+			break
+		}
+	}
+	if bi < 0 {
+		return nil, fmt.Errorf("engine: no radius-lookup backend (add %q)", HammingHybridName)
+	}
+	var all []int
+	var mu sync.Mutex
+	runIndexed(len(e.shards), e.opts.Workers, func(si int) {
+		sh := e.shards[si]
+		sh.mu.RLock()
+		local := sh.backends[bi].(radiusSearcher).Within(code, radius)
+		global := make([]int, len(local))
+		for i, id := range local {
+			global[i] = sh.ids[id]
+		}
+		sh.mu.RUnlock()
+		mu.Lock()
+		all = append(all, global...)
+		mu.Unlock()
+	})
+	sort.Ints(all)
+	return all, nil
+}
+
+// FastPathCount sums the hybrid fast-path counters across shards, or 0 if
+// the engine has no hamming-hybrid backend.
+func (e *Engine) FastPathCount() int64 {
+	var total int64
+	for _, sh := range e.shards {
+		for _, b := range sh.backends {
+			if h, ok := b.(*HammingHybrid); ok {
+				total += h.FastPathCount()
+			}
+		}
+	}
+	return total
+}
+
+// mergeTopK merges per-shard top-k lists (each sorted by (score, id))
+// into the exact global top-k. Each global winner is necessarily within
+// its own shard's top-k, so merging the lists loses nothing.
+func mergeTopK(per [][]Result, k int) []Result {
+	var n int
+	for _, rs := range per {
+		n += len(rs)
+	}
+	all := make([]Result, 0, n)
+	for _, rs := range per {
+		all = append(all, rs...)
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Score != all[b].Score {
+			return all[a].Score < all[b].Score
+		}
+		return all[a].ID < all[b].ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// runIndexed executes fn(0..n-1) across at most workers goroutines,
+// sharing a work counter like nn.ForwardParallel. workers ≤ 1 or n ≤ 1
+// runs inline.
+func runIndexed(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,338 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"traj2hash/internal/hamming"
+)
+
+func randVecs(rng *rand.Rand, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func randCodes(rng *rand.Rand, n, bits int) []hamming.Code {
+	out := make([]hamming.Code, n)
+	for i := range out {
+		v := make([]float64, bits)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		out[i] = hamming.FromSigns(v)
+	}
+	return out
+}
+
+// mustBackend builds a backend and feeds it items; embs or codes may be
+// nil when the backend only consumes the other representation.
+func mustBackend(t *testing.T, name string, cfg Config, embs [][]float64, codes []hamming.Code) Backend {
+	t.Helper()
+	be, err := NewBackend(name, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(embs)
+	if n == 0 {
+		n = len(codes)
+	}
+	for i := 0; i < n; i++ {
+		var e []float64
+		var c hamming.Code
+		if embs != nil {
+			e = embs[i]
+		}
+		if codes != nil {
+			c = codes[i]
+		}
+		if err := be.Add(e, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return be
+}
+
+func TestRegistryHasAllFiveBackends(t *testing.T) {
+	want := []string{EuclideanBFName, HammingBFName, HammingHybridName, MIHName, VPTreeName}
+	got := BackendNames()
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("backend %q not registered (have %v)", w, got)
+		}
+	}
+	if _, err := NewBackend("no-such-backend", Config{}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	// Aliases resolve.
+	if n, err := Resolve("hamming-mih"); err != nil || n != MIHName {
+		t.Errorf("alias hamming-mih -> %q, %v", n, err)
+	}
+}
+
+func TestBackendValidation(t *testing.T) {
+	eb, _ := NewBackend(EuclideanBFName, Config{})
+	if err := eb.Add(nil, hamming.Code{}); err == nil {
+		t.Error("euclidean-bf accepted empty embedding")
+	}
+	if err := eb.Add([]float64{1, 2}, hamming.Code{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eb.Add([]float64{1}, hamming.Code{}); err == nil {
+		t.Error("euclidean-bf accepted dim mismatch")
+	}
+	for _, name := range []string{HammingBFName, HammingHybridName, MIHName} {
+		hb, _ := NewBackend(name, Config{Bits: 16})
+		if err := hb.Add(nil, hamming.Code{}); err == nil {
+			t.Errorf("%s accepted empty code", name)
+		}
+		if err := hb.Add(nil, hamming.FromSigns(make([]float64, 8))); err == nil {
+			t.Errorf("%s accepted wrong bit length", name)
+		}
+		if err := hb.Add(nil, hamming.FromSigns(make([]float64, 16))); err != nil {
+			t.Errorf("%s rejected matching bits: %v", name, err)
+		}
+	}
+}
+
+func TestDefaultMIHChunks(t *testing.T) {
+	for _, tc := range []struct{ bits, want int }{
+		{16, 4}, {64, 4}, {256, 4}, {2, 2}, {300, 5},
+	} {
+		if got := defaultMIHChunks(tc.bits); got != tc.want {
+			t.Errorf("defaultMIHChunks(%d) = %d, want %d", tc.bits, got, tc.want)
+		}
+		// The chosen chunk count must be constructible.
+		rng := rand.New(rand.NewSource(9))
+		if _, err := hamming.NewMIH(randCodes(rng, 3, tc.bits), defaultMIHChunks(tc.bits)); err != nil {
+			t.Errorf("bits=%d: %v", tc.bits, err)
+		}
+	}
+}
+
+func TestEngineRoundRobinSharding(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e, err := New(Options{Backends: []string{EuclideanBFName}, Shards: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := randVecs(rng, 10, 4)
+	ids, err := e.AddBatch(vecs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("ids = %v", ids)
+		}
+	}
+	if e.Len() != 10 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	// Shard s holds global ids s, s+3, s+6, … in ascending order.
+	for s, sh := range e.shards {
+		for j, id := range sh.ids {
+			if id != s+3*j {
+				t.Fatalf("shard %d ids = %v", s, sh.ids)
+			}
+		}
+	}
+	// Searching for an exact item returns it first with score 0.
+	res := e.Search(Query{Emb: vecs[7]}, 3)
+	if len(res) != 3 || res[0].ID != 7 || res[0].Score != 0 {
+		t.Fatalf("self search = %+v", res)
+	}
+}
+
+func TestEngineSearchWithUnknownBackend(t *testing.T) {
+	e, err := New(Options{Backends: []string{EuclideanBFName}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SearchWith(HammingBFName, Query{}, 3); err == nil {
+		t.Error("backend not maintained by engine accepted")
+	}
+	if _, err := e.SearchWith("bogus", Query{}, 3); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+func TestEngineWithin(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	codes := randCodes(rng, 60, 12)
+	e, err := New(Options{
+		Backends: []string{HammingHybridName},
+		Shards:   4,
+		Config:   Config{Bits: 12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range codes {
+		if _, err := e.Add(c.Signs(), c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := e.Within(codes[5], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: scan.
+	var want []int
+	for i, c := range codes {
+		if hamming.Distance(codes[5], c) == 0 {
+			want = append(want, i)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Within(0) = %v, want %v", got, want)
+	}
+	// Monotone in radius and always sorted.
+	prev := len(got)
+	for r := 1; r <= 2; r++ {
+		ids, err := e.Within(codes[5], r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) < prev {
+			t.Errorf("Within not monotone at radius %d", r)
+		}
+		for i := 1; i < len(ids); i++ {
+			if ids[i] <= ids[i-1] {
+				t.Fatalf("Within radius %d not sorted: %v", r, ids)
+			}
+		}
+		prev = len(ids)
+	}
+	// An engine without a hybrid backend refuses.
+	e2, _ := New(Options{Backends: []string{EuclideanBFName}})
+	if _, err := e2.Within(codes[0], 1); err == nil {
+		t.Error("Within without hybrid backend accepted")
+	}
+}
+
+func TestEngineSearchBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vecs := randVecs(rng, 200, 8)
+	for _, backend := range []string{EuclideanBFName, HammingBFName, HammingHybridName, MIHName, VPTreeName} {
+		e, err := New(Options{
+			Backends: []string{backend},
+			Shards:   3,
+			Workers:  4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.AddBatch(vecs, nil); err != nil {
+			t.Fatal(err)
+		}
+		qs := make([]Query, 10)
+		for i := range qs {
+			emb := randVecs(rng, 1, 8)[0]
+			qs[i] = Query{Emb: emb, Code: hamming.FromSigns(emb)}
+		}
+		batch := e.SearchBatch(qs, 7)
+		for qi, q := range qs {
+			single := e.Search(q, 7)
+			if !reflect.DeepEqual(batch[qi], single) {
+				t.Fatalf("%s query %d: batch %v != single %v", backend, qi, batch[qi], single)
+			}
+		}
+	}
+}
+
+// TestEngineConcurrentAddSearch is the acceptance-criterion race test:
+// concurrent Add and Search (single and batch, plus Within) against a
+// sharded engine, meant to run under -race.
+func TestEngineConcurrentAddSearch(t *testing.T) {
+	e, err := New(Options{
+		Backends: []string{HammingHybridName, EuclideanBFName, MIHName, VPTreeName},
+		Shards:   4,
+		Workers:  4,
+		Config:   Config{Bits: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedRng := rand.New(rand.NewSource(4))
+	for _, v := range randVecs(seedRng, 32, 16) {
+		if _, err := e.Add(v, hamming.FromSigns(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		writers       = 3
+		readers       = 4
+		addsPerWriter = 40
+		searches      = 60
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < addsPerWriter; i++ {
+				v := randVecs(rng, 1, 16)[0]
+				if _, err := e.Add(v, hamming.FromSigns(v)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(int64(100 + w))
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < searches; i++ {
+				v := randVecs(rng, 1, 16)[0]
+				q := Query{Emb: v, Code: hamming.FromSigns(v)}
+				for _, name := range e.Backends() {
+					rs, err := e.SearchWith(name, q, 5)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					for j := 1; j < len(rs); j++ {
+						if rs[j].Score < rs[j-1].Score {
+							t.Errorf("%s results unsorted", name)
+						}
+					}
+				}
+				if i%10 == 0 {
+					e.SearchBatch([]Query{q, q}, 3)
+					if _, err := e.Within(q.Code, 1); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(int64(200 + r))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if want := 32 + writers*addsPerWriter; e.Len() != want {
+		t.Fatalf("Len = %d, want %d", e.Len(), want)
+	}
+}

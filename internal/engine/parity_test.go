@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"traj2hash/internal/hamming"
+)
+
+// TestShardedEngineMatchesSingleBackend is the cross-backend parity
+// check: on a seeded dataset, the sharded engine must return exactly the
+// ids (and scores) a single unsharded backend instance returns — which is
+// also what the legacy internal/search strategies compute, since those
+// are adapters over the same backends. Exactness relies on every backend
+// breaking distance ties by ascending id (see topk.Select), so this
+// doubles as the tie-determinism integration test.
+func TestShardedEngineMatchesSingleBackend(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const (
+		n    = 400
+		dim  = 16
+		k    = 25
+		nQry = 20
+	)
+	vecs := randVecs(rng, n, dim)
+	codes := make([]hamming.Code, n)
+	for i, v := range vecs {
+		codes[i] = hamming.FromSigns(v)
+	}
+	queries := make([]Query, nQry)
+	for i := range queries {
+		v := randVecs(rng, 1, dim)[0]
+		queries[i] = Query{Emb: v, Code: hamming.FromSigns(v)}
+	}
+	// Include exact-duplicate items so Hamming ties are guaranteed.
+	queries[0] = Query{Emb: vecs[3], Code: codes[3]}
+
+	for _, backend := range []string{EuclideanBFName, HammingBFName, HammingHybridName, MIHName, VPTreeName} {
+		ref := mustBackend(t, backend, Config{}, vecs, codes)
+		for _, shards := range []int{1, 3, 7} {
+			e, err := New(Options{Backends: []string{backend}, Shards: shards, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.AddBatch(vecs, codes); err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range queries {
+				want := ref.Search(q, k)
+				got := e.Search(q, k)
+				if len(got) != len(want) {
+					t.Fatalf("%s shards=%d query %d: len %d vs %d", backend, shards, qi, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s shards=%d query %d rank %d: engine %+v != backend %+v",
+							backend, shards, qi, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHammingBackendsAgree verifies the three Hamming backends are
+// interchangeable on results: hamming-bf, hamming-hybrid, and mih all
+// return the exact Hamming top-k with ascending-id tie-breaks, so their
+// id lists must be identical (the paper's hybrid and the MIH extension
+// only trade lookup cost, never answers).
+func TestHammingBackendsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, bits := range []int{12, 16, 32} {
+		codes := randCodes(rng, 500, bits)
+		queries := randCodes(rng, 15, bits)
+		queries[0] = codes[9] // guarantee a distance-0 hit and ties
+
+		bf := mustBackend(t, HammingBFName, Config{}, nil, codes)
+		hy := mustBackend(t, HammingHybridName, Config{}, nil, codes)
+		mih := mustBackend(t, MIHName, Config{}, nil, codes)
+		for qi, qc := range queries {
+			q := Query{Code: qc}
+			want := bf.Search(q, 20)
+			for name, be := range map[string]Backend{"hybrid": hy, "mih": mih} {
+				got := be.Search(q, 20)
+				if len(got) != len(want) {
+					t.Fatalf("bits=%d %s query %d: len %d vs %d", bits, name, qi, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+						t.Fatalf("bits=%d %s query %d rank %d: %+v != bf %+v",
+							bits, name, qi, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVPTreeMatchesEuclideanBF: the metric-tree backend must return the
+// same ids as the Euclidean scan on tie-free seeded data.
+func TestVPTreeMatchesEuclideanBF(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	vecs := randVecs(rng, 300, 8)
+	bf := mustBackend(t, EuclideanBFName, Config{}, vecs, nil)
+	vp := mustBackend(t, VPTreeName, Config{VPSeed: 42}, vecs, nil)
+	for qi := 0; qi < 15; qi++ {
+		q := Query{Emb: randVecs(rng, 1, 8)[0]}
+		want := bf.Search(q, 10)
+		got := vp.Search(q, 10)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: len %d vs %d", qi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("query %d rank %d: vptree %+v != euclidean %+v", qi, i, got[i], want[i])
+			}
+			if got[i].Score != want[i].Score {
+				t.Fatalf("query %d rank %d: score %v != %v", qi, i, got[i].Score, want[i].Score)
+			}
+		}
+	}
+	// Incremental adds invalidate and rebuild the tree.
+	extra := randVecs(rng, 1, 8)[0]
+	if err := vp.Add(extra, hamming.Code{}); err != nil {
+		t.Fatal(err)
+	}
+	res := vp.Search(Query{Emb: extra}, 1)
+	if len(res) != 1 || res[0].ID != 300 || res[0].Score != 0 {
+		t.Fatalf("post-add self search = %+v", res)
+	}
+}

@@ -1,4 +1,4 @@
-package search
+package engine
 
 import (
 	"fmt"
@@ -31,12 +31,12 @@ type vpNode struct {
 // NewVPTree builds the tree over the vectors (all of equal dimension).
 func NewVPTree(vectors [][]float64, seed int64) (*VPTree, error) {
 	if len(vectors) == 0 {
-		return nil, fmt.Errorf("search: empty vector set")
+		return nil, fmt.Errorf("engine: empty vector set")
 	}
 	dim := len(vectors[0])
 	for i, v := range vectors {
 		if len(v) != dim {
-			return nil, fmt.Errorf("search: vector %d has dim %d, want %d", i, len(v), dim)
+			return nil, fmt.Errorf("engine: vector %d has dim %d, want %d", i, len(v), dim)
 		}
 	}
 	t := &VPTree{dim: dim, vectors: vectors}
@@ -175,7 +175,7 @@ func (h *knnHeap) swap(a, b int) {
 // Visited counts distance evaluations (exposed for pruning diagnostics).
 func (t *VPTree) Search(q []float64, k int) (ids []int, visited int) {
 	if len(q) != t.dim {
-		panic(fmt.Sprintf("search: query dim %d, tree dim %d", len(q), t.dim))
+		panic(fmt.Sprintf("engine: query dim %d, tree dim %d", len(q), t.dim))
 	}
 	h := &knnHeap{k: k}
 	var walk func(n *vpNode)

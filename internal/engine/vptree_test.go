@@ -1,4 +1,4 @@
-package search
+package engine
 
 import (
 	"math/rand"
@@ -21,11 +21,8 @@ func TestVPTreeExactness(t *testing.T) {
 		k := 1 + rng.Intn(20)
 		got, _ := tree.Search(q, k)
 
-		bf, err := NewEuclideanBF(vecs, [][]float64{q})
-		if err != nil {
-			t.Fatal(err)
-		}
-		want := bf.Search(0, k)
+		bf := mustBackend(t, EuclideanBFName, Config{}, vecs, nil)
+		want := bf.Search(Query{Emb: q}, k)
 		if len(got) != len(want) {
 			t.Fatalf("trial %d: len %d vs %d", trial, len(got), len(want))
 		}
@@ -38,8 +35,8 @@ func TestVPTreeExactness(t *testing.T) {
 			return s
 		}
 		for i := range want {
-			if d2(got[i]) != d2(want[i]) {
-				t.Fatalf("trial %d rank %d: vp %v vs bf %v", trial, i, d2(got[i]), d2(want[i]))
+			if d2(got[i]) != d2(want[i].ID) {
+				t.Fatalf("trial %d rank %d: vp %v vs bf %v", trial, i, d2(got[i]), d2(want[i].ID))
 			}
 		}
 	}

@@ -61,6 +61,27 @@ func NewMIH(codes []Code, chunks int) (*MIH, error) {
 	return m, nil
 }
 
+// Add indexes one more code incrementally, returning its id. The code
+// length must match the index's. Chunk widths are fixed at construction,
+// so insertion is a per-chunk map append.
+func (m *MIH) Add(c Code) (int, error) {
+	if c.Bits != m.bits {
+		return 0, fmt.Errorf("hamming: code has %d bits, MIH has %d", c.Bits, m.bits)
+	}
+	id := len(m.codes)
+	m.codes = append(m.codes, c)
+	for ci, sub := range m.substrings(c) {
+		m.tables[ci][sub] = append(m.tables[ci][sub], id)
+	}
+	return id, nil
+}
+
+// Len returns the number of indexed codes.
+func (m *MIH) Len() int { return len(m.codes) }
+
+// Bits returns the code length.
+func (m *MIH) Bits() int { return m.bits }
+
 // substrings extracts the chunk values of a code.
 func (m *MIH) substrings(c Code) []uint64 {
 	out := make([]uint64, m.chunks)

@@ -1,21 +1,27 @@
-// Package search implements the three top-k search strategies compared in
-// the efficiency study (Section V-E):
+// Package search holds the top-k search strategies compared in the
+// efficiency study (Section V-E), exposed in the batch-of-prepared-queries
+// shape the experiment harness consumes:
 //
 //   - EuclideanBF — brute-force scan over dense embeddings with Euclidean
-//     distance, then sort;
+//     distance;
 //   - HammingBF — brute-force scan over binary codes with Hamming distance;
 //   - HammingHybrid — table lookup within Hamming radius 2, falling back to
-//     the brute-force scan when fewer than k candidates are found.
+//     the brute-force scan when fewer than k candidates are found;
+//   - HammingMIH — multi-index hashing (an extension beyond the paper).
 //
-// All strategies return database indices; the caller evaluates them against
-// exact ground truth with package eval.
+// Since the query-engine refactor, every strategy here is a thin adapter
+// over the corresponding internal/engine backend, so the efficiency
+// experiments and the CLI exercise exactly the code that serves production
+// queries through the public Index. All strategies return database
+// indices; the caller evaluates them against exact ground truth with
+// package eval.
 package search
 
 import (
 	"fmt"
 
+	"traj2hash/internal/engine"
 	"traj2hash/internal/hamming"
-	"traj2hash/internal/topk"
 )
 
 // Searcher returns the ids of the k nearest database items to a query.
@@ -28,10 +34,13 @@ type Searcher interface {
 	Search(qi, k int) []int
 }
 
-// EuclideanBF scans all database embeddings per query.
+// EuclideanBF scans all database embeddings per query via the engine's
+// euclidean-bf backend.
 type EuclideanBF struct {
 	DB      [][]float64 // database embeddings
 	Queries [][]float64 // query embeddings
+
+	be engine.Backend
 }
 
 // NewEuclideanBF validates dimensions and builds the strategy.
@@ -40,17 +49,21 @@ func NewEuclideanBF(db, queries [][]float64) (*EuclideanBF, error) {
 		return nil, fmt.Errorf("search: empty database or query set")
 	}
 	d := len(db[0])
-	for i, v := range db {
-		if len(v) != d {
-			return nil, fmt.Errorf("search: db vector %d has dim %d, want %d", i, len(v), d)
-		}
-	}
 	for i, v := range queries {
 		if len(v) != d {
 			return nil, fmt.Errorf("search: query vector %d has dim %d, want %d", i, len(v), d)
 		}
 	}
-	return &EuclideanBF{DB: db, Queries: queries}, nil
+	be, err := engine.NewBackend(engine.EuclideanBFName, engine.Config{})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range db {
+		if err := be.Add(v, hamming.Code{}); err != nil {
+			return nil, fmt.Errorf("search: db vector %d: %w", i, err)
+		}
+	}
+	return &EuclideanBF{DB: db, Queries: queries, be: be}, nil
 }
 
 // Name implements Searcher.
@@ -60,36 +73,25 @@ func (s *EuclideanBF) Name() string { return "Euclidean-BF" }
 // so the float distance computation dominates — the property the Figure
 // 5/6 comparison of Euclidean versus Hamming scanning measures.
 func (s *EuclideanBF) Search(qi, k int) []int {
-	q := s.Queries[qi]
-	items := topk.Select(len(s.DB), k, func(i int) float64 {
-		v := s.DB[i]
-		var sum float64
-		for j := range q {
-			diff := q[j] - v[j]
-			sum += diff * diff
-		}
-		return sum
-	})
-	out := make([]int, len(items))
-	for i, it := range items {
-		out[i] = it.ID
-	}
-	return out
+	return ids(s.be.Search(engine.Query{Emb: s.Queries[qi]}, k))
 }
 
-// HammingBF scans all database codes per query.
+// HammingBF scans all database codes per query via the engine's
+// hamming-bf backend.
 type HammingBF struct {
 	Table   *hamming.Table
 	Queries []hamming.Code
+
+	be engine.Backend
 }
 
 // NewHammingBF indexes the database codes.
 func NewHammingBF(db, queries []hamming.Code) (*HammingBF, error) {
-	t, err := hamming.NewTable(db)
+	be, err := newHammingBackend(engine.HammingBFName, db, engine.Config{})
 	if err != nil {
 		return nil, err
 	}
-	return &HammingBF{Table: t, Queries: queries}, nil
+	return &HammingBF{Table: be.(*engine.HammingBF).Table(), Queries: queries, be: be}, nil
 }
 
 // Name implements Searcher.
@@ -97,11 +99,11 @@ func (s *HammingBF) Name() string { return "Hamming-BF" }
 
 // Search implements Searcher.
 func (s *HammingBF) Search(qi, k int) []int {
-	ns := s.Table.BruteForce(s.Queries[qi], k)
-	return ids(ns)
+	return ids(s.be.Search(engine.Query{Code: s.Queries[qi]}, k))
 }
 
-// HammingHybrid uses radius-2 table lookup with brute-force fallback.
+// HammingHybrid uses radius-2 table lookup with brute-force fallback via
+// the engine's hamming-hybrid backend.
 type HammingHybrid struct {
 	Table   *hamming.Table
 	Queries []hamming.Code
@@ -109,15 +111,18 @@ type HammingHybrid struct {
 	// FastPathCount counts queries answered via table lookup, for the
 	// Figure 5/6 analysis of when the hybrid degenerates to Hamming-BF.
 	FastPathCount int
+
+	be *engine.HammingHybrid
 }
 
 // NewHammingHybrid indexes the database codes.
 func NewHammingHybrid(db, queries []hamming.Code) (*HammingHybrid, error) {
-	t, err := hamming.NewTable(db)
+	be, err := newHammingBackend(engine.HammingHybridName, db, engine.Config{})
 	if err != nil {
 		return nil, err
 	}
-	return &HammingHybrid{Table: t, Queries: queries}, nil
+	hb := be.(*engine.HammingHybrid)
+	return &HammingHybrid{Table: hb.Table(), Queries: queries, be: hb}, nil
 }
 
 // Name implements Searcher.
@@ -125,28 +130,31 @@ func (s *HammingHybrid) Name() string { return "Hamming-Hybrid" }
 
 // Search implements Searcher.
 func (s *HammingHybrid) Search(qi, k int) []int {
-	ns, fast := s.Table.Hybrid(s.Queries[qi], k)
-	if fast {
+	before := s.be.FastPathCount()
+	out := ids(s.be.Search(engine.Query{Code: s.Queries[qi]}, k))
+	if s.be.FastPathCount() > before {
 		s.FastPathCount++
 	}
-	return ids(ns)
+	return out
 }
 
 // HammingMIH searches with a multi-index hashing table — an extension
 // beyond the paper's radius-2 strategy that stays sublinear on long codes
-// (see hamming.MIH).
+// (see hamming.MIH) — via the engine's mih backend.
 type HammingMIH struct {
 	Index   *hamming.MIH
 	Queries []hamming.Code
+
+	be engine.Backend
 }
 
 // NewHammingMIH indexes the database codes with the given chunk count.
 func NewHammingMIH(db, queries []hamming.Code, chunks int) (*HammingMIH, error) {
-	idx, err := hamming.NewMIH(db, chunks)
+	be, err := newHammingBackend(engine.MIHName, db, engine.Config{MIHChunks: chunks})
 	if err != nil {
 		return nil, err
 	}
-	return &HammingMIH{Index: idx, Queries: queries}, nil
+	return &HammingMIH{Index: be.(*engine.MIHBackend).MIH(), Queries: queries, be: be}, nil
 }
 
 // Name implements Searcher.
@@ -154,15 +162,42 @@ func (s *HammingMIH) Name() string { return "Hamming-MIH" }
 
 // Search implements Searcher.
 func (s *HammingMIH) Search(qi, k int) []int {
-	return ids(s.Index.Search(s.Queries[qi], k))
+	return ids(s.be.Search(engine.Query{Code: s.Queries[qi]}, k))
 }
 
-func ids(ns []hamming.Neighbor) []int {
-	out := make([]int, len(ns))
-	for i, n := range ns {
-		out[i] = n.ID
+// newHammingBackend builds a code-indexed backend over a non-empty set.
+func newHammingBackend(name string, db []hamming.Code, cfg engine.Config) (engine.Backend, error) {
+	if len(db) == 0 {
+		return nil, fmt.Errorf("search: empty code set")
+	}
+	be, err := engine.NewBackend(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range db {
+		if err := be.Add(nil, c); err != nil {
+			return nil, fmt.Errorf("search: code %d: %w", i, err)
+		}
+	}
+	return be, nil
+}
+
+func ids(rs []engine.Result) []int {
+	out := make([]int, len(rs))
+	for i, r := range rs {
+		out[i] = r.ID
 	}
 	return out
+}
+
+// VPTree re-exports the engine's vantage-point tree, which predates the
+// engine package and moved there with the query-engine refactor.
+type VPTree = engine.VPTree
+
+// NewVPTree builds a vantage-point tree over the vectors; see
+// engine.NewVPTree.
+func NewVPTree(vectors [][]float64, seed int64) (*VPTree, error) {
+	return engine.NewVPTree(vectors, seed)
 }
 
 // RunAll executes every query against a strategy, returning the id lists.

@@ -13,7 +13,12 @@ type Item struct {
 }
 
 // Select returns the k items with the smallest distances among ids
-// [0, n), using the dist callback, sorted ascending with ties broken by id.
+// [0, n), using the dist callback, sorted ascending with ties broken by
+// ascending id. The tie-break is a contract, not an accident: every
+// search backend ranks with Select (or mirrors its ordering), which is
+// what makes results deterministic and lets the sharded engine merge
+// per-shard top-k lists into the exact global answer (see the
+// cross-backend parity tests in internal/engine).
 func Select(n, k int, dist func(i int) float64) []Item {
 	if k <= 0 || n <= 0 {
 		return nil

@@ -44,6 +44,49 @@ func TestSelectMatchesSort(t *testing.T) {
 	}
 }
 
+// TestSelectTieDeterminism is the regression test for the deterministic
+// tie-break contract: under equal distances the smallest ids win and the
+// output is sorted by (Dist, ID) ascending. The engine's cross-backend
+// parity (sharded merge == single scan, MIH == Hamming-BF) depends on
+// this holding on both heap paths — initial fill (n ≤ k) and root
+// replacement (n > k).
+func TestSelectTieDeterminism(t *testing.T) {
+	// Pure ties, n > k: stresses the replacement path — every item after
+	// the fill ties with the heap root and must evict larger ids.
+	got := Select(1000, 10, func(int) float64 { return 5 })
+	if len(got) != 10 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, it := range got {
+		if it.ID != i || it.Dist != 5 {
+			t.Fatalf("rank %d = %+v, want id %d", i, it, i)
+		}
+	}
+	// Pure ties, n ≤ k: the fill path must come out id-sorted too.
+	got = Select(8, 20, func(int) float64 { return 1 })
+	for i, it := range got {
+		if it.ID != i {
+			t.Fatalf("fill path rank %d = %+v", i, it)
+		}
+	}
+	// Grouped ties with the winning group arriving last: ids of the
+	// smallest distance group are selected in ascending order.
+	got = Select(90, 6, func(i int) float64 { return float64(2 - i/30) })
+	for i, it := range got {
+		if it.ID != 60+i || it.Dist != 0 {
+			t.Fatalf("grouped rank %d = %+v, want id %d dist 0", i, it, 60+i)
+		}
+	}
+	// Identical calls are bitwise identical (full determinism).
+	a := Select(500, 25, func(i int) float64 { return float64(i % 7) })
+	b := Select(500, 25, func(i int) float64 { return float64(i % 7) })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at rank %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
 func TestSelectEdgeCases(t *testing.T) {
 	if got := SelectSlice(nil, 5); got != nil {
 		t.Errorf("empty input = %v", got)

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# CI gate for the repository: vet, build, and run the full test suite
+# under the race detector (the engine's concurrent Add/Search tests only
+# mean something with -race). Usage: ./scripts/ci.sh [extra go test args]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./... $*"
+go test -race "$@" ./...
+
+echo "CI OK"

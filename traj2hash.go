@@ -146,3 +146,9 @@ func ProjectLonLat(lon, lat, refLat float64) Point {
 
 // HammingDistance returns the Hamming distance between two codes.
 func HammingDistance(a, b Code) int { return hamming.Distance(a, b) }
+
+// SignCode packs an embedding into its Hamming code by the sign
+// convention of Equation 16 (Model.Code(t) ≡ SignCode(Model.Embed(t))).
+// Use it to derive the code from an already-computed embedding instead of
+// paying a second encoder forward pass.
+func SignCode(emb []float64) Code { return hamming.FromSigns(emb) }

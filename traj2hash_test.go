@@ -3,6 +3,7 @@ package traj2hash
 import (
 	"bytes"
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -223,6 +224,165 @@ func TestFacadeFilesAndCities(t *testing.T) {
 	}
 	if len(ds2.Database) != len(ds.Database) {
 		t.Error("dataset round trip differs")
+	}
+}
+
+// untrainedFixture builds a model without training — forward passes work
+// from random init, which is all the engine-facade tests need and keeps
+// them fast.
+func untrainedFixture(t *testing.T) (*Model, *Dataset) {
+	t.Helper()
+	ds := BuildDataset(Porto(), SplitSpec{
+		Seed: 10, Validation: 6, Corpus: 30, Queries: 6, Database: 80,
+	}, 9)
+	cfg := DefaultConfig(16)
+	cfg.Heads = 2
+	cfg.Blocks = 1
+	cfg.MaxLen = 12
+	cfg.M = 4
+	cfg.GridCellSize = 200
+	cfg.GridPreEpochs = 1
+	m, err := New(cfg, ds.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ds
+}
+
+func TestIndexBackendSelection(t *testing.T) {
+	m, ds := untrainedFixture(t)
+	q := ds.Queries[0]
+	// Reference: the default facade.
+	ref, err := NewIndex(m, ds.Database)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEu := ref.SearchEuclidean(q, 7)
+	refHam := ref.SearchHamming(q, 7)
+	for _, backend := range Backends() {
+		ix, err := NewIndexWith(m, ds.Database, Options{Backend: backend, Shards: 3, Workers: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if ix.Backend() != backend {
+			t.Errorf("Backend() = %q, want %q", ix.Backend(), backend)
+		}
+		got := ix.Search(q, 7)
+		if len(got) != 7 {
+			t.Fatalf("%s: len = %d", backend, len(got))
+		}
+		// Each backend must agree with its strategy family on ids.
+		want := refHam
+		if backend == BackendEuclideanBF || backend == BackendVPTree {
+			want = refEu
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				t.Errorf("%s rank %d: id %d, want %d", backend, i, got[i].ID, want[i].ID)
+			}
+		}
+		// The strategy-specific methods work regardless of configuration.
+		if rs := ix.SearchEuclidean(q, 3); len(rs) != 3 || rs[0].ID != refEu[0].ID {
+			t.Errorf("%s: SearchEuclidean = %+v", backend, rs)
+		}
+		if rs := ix.SearchHybrid(q, 3); len(rs) != 3 || rs[0].ID != refHam[0].ID {
+			t.Errorf("%s: SearchHybrid = %+v", backend, rs)
+		}
+	}
+	if _, err := NewIndexWith(m, ds.Database, Options{Backend: "bogus"}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+func TestIndexBatchAPIs(t *testing.T) {
+	m, ds := untrainedFixture(t)
+	ix, err := NewIndexWith(m, nil, Options{Shards: 2, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("empty index Len = %d", ix.Len())
+	}
+	ids, err := ix.AddBatch(ds.Database)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("AddBatch ids = %v", ids[:5])
+		}
+	}
+	if ix.Len() != len(ds.Database) {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	// SearchBatch equals per-query Search, in query order.
+	batch := ix.SearchBatch(ds.Queries, 5)
+	if len(batch) != len(ds.Queries) {
+		t.Fatalf("batch len = %d", len(batch))
+	}
+	for qi, q := range ds.Queries {
+		single := ix.Search(q, 5)
+		for i := range single {
+			if batch[qi][i] != single[i] {
+				t.Fatalf("query %d rank %d: batch %+v != single %+v", qi, i, batch[qi][i], single[i])
+			}
+		}
+	}
+	// SignCode matches Model.Code, so one forward pass serves both spaces.
+	qe := m.Embed(ds.Queries[0])
+	if !HammingDistanceIsZero(SignCode(qe), m.Code(ds.Queries[0])) {
+		t.Error("SignCode(Embed) != Code")
+	}
+	// ApproxDistanceByVec agrees with ApproxDistance without re-embedding.
+	if d1, d2 := ix.ApproxDistance(ds.Queries[0], 3), ix.ApproxDistanceByVec(qe, 3); d1 != d2 {
+		t.Errorf("ApproxDistance %v != ByVec %v", d1, d2)
+	}
+}
+
+// HammingDistanceIsZero is a test helper for code equality.
+func HammingDistanceIsZero(a, b Code) bool { return HammingDistance(a, b) == 0 }
+
+// TestIndexConcurrentAddSearch exercises the public facade under
+// concurrent Add and Search on a sharded engine (run with -race).
+func TestIndexConcurrentAddSearch(t *testing.T) {
+	m, ds := untrainedFixture(t)
+	ix, err := NewIndexWith(m, ds.Database[:20], Options{Shards: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest := ds.Database[20:]
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for _, tr := range rest {
+			if _, err := ix.Add(tr); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			q := ds.Queries[i%len(ds.Queries)]
+			if res := ix.Search(q, 5); len(res) != 5 {
+				t.Errorf("search returned %d results", len(res))
+				return
+			}
+			ix.SearchEuclidean(q, 3)
+			ix.Within(q, 1)
+		}
+	}()
+	wg.Wait()
+	if ix.Len() != len(ds.Database) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(ds.Database))
+	}
+	// Every id is addressable after the dust settles.
+	for id := 0; id < ix.Len(); id++ {
+		if len(ix.Trajectory(id)) == 0 || len(ix.Embedding(id)) == 0 {
+			t.Fatalf("id %d unaddressable", id)
+		}
 	}
 }
 
