@@ -134,6 +134,7 @@ func cmdImport(args []string) error {
 	var ts []geo.Trajectory
 	if *lonlat {
 		ref := *refLat
+		//lint:ignore floatcompare 0 is the flag's exact "not given" sentinel, never a computed value
 		if ref == 0 {
 			// No reference latitude given: read the raw degree values and
 			// project with the first point's latitude as the reference.

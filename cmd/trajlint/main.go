@@ -1,0 +1,137 @@
+// Command trajlint runs the repo's static-analysis rule suite
+// (internal/analysis) over the module: stdlib-only, no go/packages, no
+// external analyzers. It exits non-zero when any diagnostic survives the
+// //lint:ignore suppressions, which makes it a CI gate:
+//
+//	trajlint ./...                   # whole module
+//	trajlint -rules deferunlock ./internal/engine
+//	trajlint -json ./... | jq .
+//
+// Diagnostics print as "file:line:col rule: message" with paths relative
+// to the working directory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"traj2hash/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("trajlint", flag.ExitOnError)
+	rulesFlag := fs.String("rules", "", "comma-separated rule names to run (default: all)")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	dirFlag := fs.String("C", ".", "module directory to lint (must contain go.mod)")
+	fs.Usage = func() { usage(fs, stderr) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var ruleNames []string
+	if *rulesFlag != "" {
+		for _, n := range strings.Split(*rulesFlag, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				ruleNames = append(ruleNames, n)
+			}
+		}
+	}
+	rules, err := analysis.SelectRules(ruleNames)
+	if err != nil {
+		fmt.Fprintln(stderr, "trajlint:", err)
+		return 2
+	}
+
+	loader, err := analysis.NewLoader(*dirFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "trajlint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadPatterns(fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "trajlint:", err)
+		return 2
+	}
+
+	diags := analysis.Run(pkgs, rules)
+	relativize(diags)
+
+	if *jsonFlag {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "trajlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonFlag {
+			fmt.Fprintf(stderr, "trajlint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// relativize rewrites absolute diagnostic paths relative to the working
+// directory, keeping output stable across checkouts.
+func relativize(diags []analysis.Diagnostic) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(wd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+}
+
+func usage(fs *flag.FlagSet, w *os.File) {
+	fmt.Fprintf(w, `usage: trajlint [flags] [packages]
+
+trajlint enforces the repo's correctness contracts with a stdlib-only
+analyzer suite. Packages default to ./...; a trailing /... walks
+directories (testdata, vendor, and hidden directories are skipped).
+
+Flags:
+`)
+	fs.PrintDefaults()
+	fmt.Fprintf(w, "\nRules:\n")
+	var rules []*analysis.Rule
+	rules = append(rules, analysis.Rules()...)
+	sort.Slice(rules, func(i, j int) bool { return rules[i].Name < rules[j].Name })
+	for _, r := range rules {
+		fmt.Fprintf(w, "  %-14s %s\n", r.Name, r.Doc)
+	}
+	fmt.Fprintf(w, `
+Fixable rules (mechanical fixes, apply by hand):
+`)
+	for _, r := range rules {
+		if r.Fix != "" {
+			fmt.Fprintf(w, "  %-14s %s\n", r.Name, r.Fix)
+		}
+	}
+	fmt.Fprintf(w, `
+Suppressions (reason is mandatory; a missing reason or unknown rule is
+itself a diagnostic):
+  //lint:ignore <rule> <reason>        suppresses <rule> on this line and the next
+  //lint:file-ignore <rule> <reason>   suppresses <rule> in the whole file
+`)
+}

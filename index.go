@@ -281,8 +281,8 @@ func (ix *Index) ApproxDistance(q Trajectory, id int) float64 {
 // repeated distance evaluations.
 func (ix *Index) ApproxDistanceByVec(qe []float64, id int) float64 {
 	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	emb := ix.embs[id]
-	ix.mu.RUnlock()
 	var sum float64
 	for j := range qe {
 		d := qe[j] - emb[j]

@@ -1,0 +1,30 @@
+package analysis
+
+import "strings"
+
+// ruleBannedImport enforces the repo's stdlib-only constraint: every
+// import must be either a standard-library package or a package of this
+// module. A third-party dependency slipping in would break the
+// reproducibility story (the container has no module proxy) and the
+// from-scratch claim of the reproduction, so the gate fails the build
+// rather than letting `go mod tidy` paper over it.
+var ruleBannedImport = &Rule{
+	Name: "bannedimport",
+	Doc:  "imports must be stdlib or module-local (stdlib-only contract)",
+	Run:  runBannedImport,
+}
+
+func runBannedImport(p *Pass) {
+	mod := p.Pkg.Module
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path := importPath(imp)
+			if path == mod || strings.HasPrefix(path, mod+"/") || IsStdImport(path) {
+				continue
+			}
+			p.Reportf(imp.Pos(),
+				"import %q is neither stdlib nor module-local; the repo is stdlib-only by contract",
+				path)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ruleFloatCompare forbids exact ==/!= on float-typed operands. Exact
+// float equality silently depends on evaluation order and compiler
+// optimizations; the repo's distance scores, loss values, and merge
+// tie-breaks must either compare through an explicit tolerance or carry a
+// //lint:ignore with the reason the exact comparison is sound (e.g. a
+// sort tie-break where both operands are stored values, never computed
+// fresh). The x != x NaN test is recognized as an idiom and allowed.
+var ruleFloatCompare = &Rule{
+	Name: "floatcompare",
+	Doc:  "no ==/!= on float operands; compare through a tolerance or justify with //lint:ignore",
+	Run:  runFloatCompare,
+}
+
+func runFloatCompare(p *Pass) {
+	p.inspect(func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		lt, rt := p.Pkg.Info.TypeOf(bin.X), p.Pkg.Info.TypeOf(bin.Y)
+		if !isFloat(lt) && !isFloat(rt) {
+			return true
+		}
+		// x != x (and x == x) is the classic NaN test; identical operand
+		// syntax cannot race against recomputation.
+		if types.ExprString(bin.X) == types.ExprString(bin.Y) {
+			return true
+		}
+		p.Reportf(bin.OpPos,
+			"exact %s comparison of float operands; use a tolerance (math.Abs(a-b) <= eps) or suppress with the reason exactness is sound",
+			bin.Op)
+		return true
+	})
+}
+
+// isFloat reports whether t is (or is based on) a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ruleNoGlobalRand forbids calls to math/rand's package-level functions
+// (rand.Intn, rand.Float64, rand.Shuffle, ...) in library code. Every
+// random draw must flow through an injected *rand.Rand so that training,
+// vantage-point sampling, and dataset generation stay reproducible from
+// an explicit seed — the convention internal/nn, internal/engine, and
+// internal/data already follow, and the one the paper's deterministic
+// HR@k tables depend on. Constructing a generator (rand.New,
+// rand.NewSource, rand.NewZipf) is of course allowed.
+var ruleNoGlobalRand = &Rule{
+	Name: "noglobalrand",
+	Doc:  "no math/rand package-level functions; inject a *rand.Rand (reproducibility contract)",
+	Run:  runNoGlobalRand,
+}
+
+// Constructors of explicit generators — the approved way to touch the
+// rand package directly.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runNoGlobalRand(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		// Local names binding the math/rand packages in this file.
+		randNames := map[string]bool{}
+		for _, imp := range f.Imports {
+			path := importPath(imp)
+			if path != "math/rand" && path != "math/rand/v2" {
+				continue
+			}
+			name := "rand"
+			if path == "math/rand/v2" {
+				name = "rand" // default name of .../v2 is still "rand"
+			}
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			if name != "_" && name != "." {
+				randNames[name] = true
+			}
+		}
+		if len(randNames) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok || !randNames[ident.Name] {
+				return true
+			}
+			// When type information resolved, require the identifier to
+			// really be the imported package (not a shadowing local).
+			if obj := p.Pkg.Info.Uses[ident]; obj != nil {
+				if _, isPkg := obj.(*types.PkgName); !isPkg {
+					return true
+				}
+			}
+			if randConstructors[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"call to global math/rand.%s; draw from an injected *rand.Rand (rand.New(rand.NewSource(seed))) so results are reproducible",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// importPath unquotes an import spec's path.
+func importPath(imp *ast.ImportSpec) string {
+	s := imp.Path.Value
+	if len(s) >= 2 {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

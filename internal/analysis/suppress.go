@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// DirectiveRule is the pseudo-rule name under which malformed or
+// unknown-rule //lint: directives are reported. It cannot itself be
+// suppressed.
+const DirectiveRule = "directive"
+
+const (
+	ignorePrefix     = "lint:ignore"
+	fileIgnorePrefix = "lint:file-ignore"
+)
+
+// suppression is one parsed, well-formed //lint: directive.
+type suppression struct {
+	file     string
+	line     int    // line the directive comment starts on
+	rule     string // rule being suppressed
+	fileWide bool   // true for a file-wide directive
+}
+
+// suppressionSet holds every well-formed directive of one package.
+type suppressionSet struct {
+	byFile map[string][]suppression
+}
+
+// suppresses reports whether d is covered by a directive: a file-wide
+// ignore for its rule, or a line ignore on the diagnostic's own line or
+// the line directly above it (so a directive may trail the flagged
+// statement or sit on its own line immediately before it).
+func (s suppressionSet) suppresses(d Diagnostic) bool {
+	if d.Rule == DirectiveRule {
+		return false
+	}
+	for _, sup := range s.byFile[d.File] {
+		if sup.rule != d.Rule {
+			continue
+		}
+		if sup.fileWide || sup.line == d.Line || sup.line == d.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions parses every //lint: directive in the package,
+// returning the set of well-formed suppressions plus diagnostics for the
+// malformed ones: a directive missing its rule or reason, or naming a
+// rule that is not in the suite. Validation runs against the full rule
+// registry, so a -rules filter never turns a valid suppression into a
+// false "unknown rule" report.
+func collectSuppressions(pkg *Package) (suppressionSet, []Diagnostic) {
+	known := map[string]bool{}
+	for _, r := range Rules() {
+		known[r.Name] = true
+	}
+	set := suppressionSet{byFile: map[string][]suppression{}}
+	var diags []Diagnostic
+	report := func(pos token.Position, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos: pos, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Rule: DirectiveRule, Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fileWide := false
+				var rest string
+				switch {
+				case strings.HasPrefix(text, fileIgnorePrefix):
+					fileWide = true
+					rest = strings.TrimPrefix(text, fileIgnorePrefix)
+				case strings.HasPrefix(text, ignorePrefix):
+					rest = strings.TrimPrefix(text, ignorePrefix)
+				default:
+					report(pos, "unknown //lint: directive %q (want lint:ignore or lint:file-ignore)", text)
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(pos, "malformed directive: want //%s <rule> <reason>", directiveName(fileWide))
+					continue
+				}
+				rule := fields[0]
+				if len(fields) < 2 {
+					report(pos, "suppression of %q needs a written reason: //%s %s <reason>",
+						rule, directiveName(fileWide), rule)
+					continue
+				}
+				if !known[rule] {
+					report(pos, "suppression names unknown rule %q (have %v); it has no effect",
+						rule, RuleNames())
+					continue
+				}
+				set.byFile[pos.Filename] = append(set.byFile[pos.Filename], suppression{
+					file: pos.Filename, line: pos.Line, rule: rule, fileWide: fileWide,
+				})
+			}
+		}
+	}
+	return set, diags
+}
+
+// directiveText extracts the "lint:..." payload from a comment, if any.
+func directiveText(comment string) (string, bool) {
+	var body string
+	switch {
+	case strings.HasPrefix(comment, "//"):
+		body = comment[2:]
+	case strings.HasPrefix(comment, "/*"):
+		body = strings.TrimSuffix(comment[2:], "*/")
+	}
+	body = strings.TrimSpace(body)
+	if strings.HasPrefix(body, "lint:") {
+		return body, true
+	}
+	return "", false
+}
+
+func directiveName(fileWide bool) string {
+	if fileWide {
+		return fileIgnorePrefix
+	}
+	return ignorePrefix
+}

@@ -1,0 +1,10 @@
+// Package bannedimport seeds violations for the bannedimport rule.
+package bannedimport
+
+import (
+	"fmt"
+
+	_ "github.com/forbidden/thirdparty" // want:bannedimport
+)
+
+func used() string { return fmt.Sprint("stdlib imports are fine") }

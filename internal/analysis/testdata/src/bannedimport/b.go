@@ -1,0 +1,4 @@
+package bannedimport
+
+//lint:ignore bannedimport fixture: proves line-level suppression works for this rule
+import _ "example.org/also/forbidden"

@@ -1,0 +1,72 @@
+// Package deferunlock seeds violations for the deferunlock rule.
+package deferunlock
+
+import "sync"
+
+type box struct {
+	mu  sync.RWMutex
+	val int
+}
+
+func (b *box) good() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.val
+}
+
+func (b *box) goodWrite(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.val = v
+}
+
+func (b *box) inlineUnlock() int {
+	b.mu.RLock() // want:deferunlock
+	v := b.val
+	b.mu.RUnlock()
+	return v
+}
+
+func (b *box) missingUnlock(v int) {
+	b.mu.Lock() // want:deferunlock
+	b.val = v
+}
+
+func (b *box) wrongCounterpart() {
+	b.mu.Lock() // want:deferunlock
+	defer b.mu.RUnlock()
+}
+
+func (b *box) closureScope() int {
+	get := func() int {
+		b.mu.RLock() // want:deferunlock
+		v := b.val
+		b.mu.RUnlock()
+		return v
+	}
+	return get()
+}
+
+func (b *box) deferInClosureDoesNotCount() {
+	b.mu.Lock() // want:deferunlock
+	func() {
+		defer b.mu.Unlock()
+	}()
+}
+
+func (b *box) suppressed() int {
+	//lint:ignore deferunlock fixture: proves line-level suppression works for this rule
+	b.mu.RLock()
+	v := b.val
+	b.mu.RUnlock()
+	return v
+}
+
+func notAMutex() {
+	var c chest
+	c.Lock() // a Lock method without an Unlock counterpart is not lock discipline
+}
+
+type chest struct{}
+
+func (chest) Lock() {}

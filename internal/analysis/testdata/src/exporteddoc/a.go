@@ -1,0 +1,39 @@
+// Package exporteddoc seeds violations for the exporteddoc rule.
+package exporteddoc
+
+// Documented is documented.
+type Documented struct{}
+
+// DocumentedFunc is documented.
+func DocumentedFunc() {}
+
+type Undocumented struct{} // want:exporteddoc
+
+func UndocumentedFunc() {} // want:exporteddoc
+
+// Value returns zero.
+func (Documented) Value() int { return 0 }
+
+func (Documented) Missing() int { return 0 } // want:exporteddoc
+
+const Exported = 1 // want:exporteddoc
+
+// Grouped declarations share the group's doc comment.
+const (
+	GroupedA = iota
+	GroupedB
+)
+
+var unexported = 0
+
+func unexportedFunc() int { return unexported }
+
+type hidden struct{}
+
+// Peek is a method of an unexported type: not public surface.
+func (hidden) Peek() {}
+
+func (hidden) Quiet() {} // methods of unexported types need no docs
+
+//lint:ignore exporteddoc fixture: proves line-level suppression works for this rule
+func SuppressedFunc() {}

@@ -1,0 +1,41 @@
+// Package floatcompare seeds violations for the floatcompare rule.
+package floatcompare
+
+type meters float64
+
+func eq(a, b float64) bool {
+	return a == b // want:floatcompare
+}
+
+func neq32(a, b float32) bool {
+	return a != b // want:floatcompare
+}
+
+func named(a, b meters) bool {
+	return a == b // want:floatcompare
+}
+
+func mixed(a float64) bool {
+	return a == 0 // want:floatcompare
+}
+
+func ints(a, b int) bool {
+	return a == b // integer equality is exact; not flagged
+}
+
+func isNaN(x float64) bool {
+	return x != x // the NaN idiom is recognized and allowed
+}
+
+func tolerant(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps // ordered comparisons are fine
+}
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floatcompare fixture: proves line-level suppression works for this rule
+	return a == b
+}

@@ -1,0 +1,33 @@
+// Package panicattrib seeds violations for the panicattrib rule.
+package panicattrib
+
+import "fmt"
+
+func good() {
+	panic("panicattrib: invariant broken")
+}
+
+func goodf(n int) {
+	panic(fmt.Sprintf("panicattrib: bad n %d", n))
+}
+
+func badPlain() {
+	panic("invariant broken") // want:panicattrib
+}
+
+func badFormat(n int) {
+	panic(fmt.Sprintf("bad n %d", n)) // want:panicattrib
+}
+
+func badValue(err error) {
+	panic(err) // want:panicattrib
+}
+
+func badWrongPrefix() {
+	panic("otherpkg: not this package") // want:panicattrib
+}
+
+func suppressed() {
+	//lint:ignore panicattrib fixture: proves line-level suppression works for this rule
+	panic("fixture panic without prefix")
+}

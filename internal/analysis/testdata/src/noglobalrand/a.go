@@ -1,0 +1,30 @@
+// Package noglobalrand seeds violations for the noglobalrand rule.
+package noglobalrand
+
+import "math/rand"
+
+func draw() int {
+	return rand.Intn(10) // want:noglobalrand
+}
+
+func drawFloat() float64 {
+	return rand.Float64() // want:noglobalrand
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want:noglobalrand
+}
+
+func seeded() int {
+	rng := rand.New(rand.NewSource(7)) // constructing a generator is the approved pattern
+	return rng.Intn(10)
+}
+
+func injected(rng *rand.Rand) float64 {
+	return rng.Float64() // drawing from an injected generator is fine
+}
+
+func suppressed() int {
+	//lint:ignore noglobalrand fixture: proves line-level suppression works for this rule
+	return rand.Intn(10)
+}

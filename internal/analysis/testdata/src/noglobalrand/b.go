@@ -1,0 +1,7 @@
+package noglobalrand
+
+import mrand "math/rand"
+
+func aliased() int {
+	return mrand.Intn(3) // want:noglobalrand
+}

@@ -1,0 +1,11 @@
+package suppress
+
+//lint:file-ignore floatcompare fixture: file-wide suppression covers every finding in this file
+
+func fileWideOne(a, b float64) bool {
+	return a == b // MARK:filewide-one
+}
+
+func fileWideTwo(a, b float64) bool {
+	return a != b // MARK:filewide-two
+}

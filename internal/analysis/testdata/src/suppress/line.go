@@ -1,0 +1,15 @@
+// Package suppress exercises the //lint:ignore directive machinery:
+// line scope, file scope, wrong rule names, and missing reasons.
+package suppress
+
+func lineScoped(a, b float64) bool {
+	//lint:ignore floatcompare a directive covers its own line and the next one only
+	if a == b {
+		return true
+	}
+	return a != b // MARK:line-after-gap
+}
+
+func trailingDirective(a, b float64) bool {
+	return a == b //lint:ignore floatcompare a trailing directive covers its own line
+}

@@ -1,0 +1,6 @@
+package suppress
+
+func noReason(a, b float64) bool {
+	//lint:ignore floatcompare
+	return a == b // MARK:no-reason
+}

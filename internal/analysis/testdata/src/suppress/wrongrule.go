@@ -1,0 +1,11 @@
+package suppress
+
+func wrongKnownRule(a, b float64) bool {
+	//lint:ignore deferunlock names a real rule, but not the one that fires here
+	return a == b // MARK:wrong-known-rule
+}
+
+func unknownRule(a, b float64) bool {
+	//lint:ignore floatcmp this rule name does not exist MARK:bad-directive
+	return a == b // MARK:unknown-rule
+}

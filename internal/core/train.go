@@ -275,6 +275,7 @@ func (m *Model) seedBatchLoss(seeds []geo.Trajectory, s [][]float64, samples []s
 
 // tripletBatchLoss builds γ·L_t (Equation 20) over a random triplet batch.
 func (m *Model) tripletBatchLoss(corpus []geo.Trajectory, triplets []Triplet) *nn.Tensor {
+	//lint:ignore floatcompare γ is a user-set hyper-parameter; exactly 0 is the documented "triplet loss off" switch
 	if m.Cfg.Gamma == 0 || len(triplets) == 0 {
 		return nil
 	}

@@ -285,6 +285,7 @@ func directedHausdorff(a, b geo.Trajectory) float64 {
 		for _, q := range b {
 			if d := p.SqDist(q); d < best {
 				best = d
+				//lint:ignore floatcompare early exit on an exactly-zero squared distance (coincident points); a near-zero miss only skips the shortcut
 				if best == 0 {
 					break
 				}

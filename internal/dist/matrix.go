@@ -36,6 +36,7 @@ func MatrixWorkers(f Func, ts []geo.Trajectory, workers int) [][]float64 {
 		go func() {
 			defer wg.Done()
 			for {
+				//lint:ignore deferunlock work-counter critical section inside the fetch loop; a deferred unlock would serialize the workers for their whole lifetime
 				mu.Lock()
 				i := next
 				next++
@@ -68,6 +69,7 @@ func CrossMatrix(f Func, qs, ts []geo.Trajectory) [][]float64 {
 		go func() {
 			defer wg.Done()
 			for {
+				//lint:ignore deferunlock work-counter critical section inside the fetch loop; a deferred unlock would serialize the workers for their whole lifetime
 				mu.Lock()
 				i := next
 				next++

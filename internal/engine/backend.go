@@ -120,6 +120,7 @@ func NewBackend(name string, cfg Config) (Backend, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore deferunlock the factory below must run outside the registry lock: a factory that registers (or resolves) would deadlock under defer
 	regMu.RLock()
 	f := registry[canonical]
 	regMu.RUnlock()
@@ -437,8 +438,8 @@ func (b *VPTreeBackend) Add(emb []float64, _ hamming.Code) error {
 	}
 	b.vecs = append(b.vecs, emb)
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.tree = nil
-	b.mu.Unlock()
 	return nil
 }
 

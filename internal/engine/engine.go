@@ -203,6 +203,7 @@ func (e *Engine) searchShards(bi int, q Query, k int) []Result {
 	per := make([][]Result, len(e.shards))
 	searchOne := func(si int) {
 		sh := e.shards[si]
+		//lint:ignore deferunlock hot path: the read section deliberately excludes the id remap copy-out ordering and the cross-shard merge; Backend.Search does not panic on valid engine state
 		sh.mu.RLock()
 		rs := sh.backends[bi].Search(q, k)
 		out := make([]Result, len(rs))
@@ -247,6 +248,7 @@ func (e *Engine) searchShardsSeq(bi int, q Query, k int) []Result {
 	}
 	per := make([][]Result, len(e.shards))
 	for si, sh := range e.shards {
+		//lint:ignore deferunlock hot path: one goroutine walks every shard, so a deferred unlock would hold the first shard's read lock across the whole walk
 		sh.mu.RLock()
 		rs := sh.backends[bi].Search(q, k)
 		out := make([]Result, len(rs))
@@ -283,6 +285,7 @@ func (e *Engine) Within(code hamming.Code, radius int) ([]int, error) {
 	var mu sync.Mutex
 	runIndexed(len(e.shards), e.opts.Workers, func(si int) {
 		sh := e.shards[si]
+		//lint:ignore deferunlock the shard read section deliberately ends before the result-gathering mutex below, keeping the two locks disjoint
 		sh.mu.RLock()
 		local := sh.backends[bi].(radiusSearcher).Within(code, radius)
 		global := make([]int, len(local))
@@ -291,8 +294,8 @@ func (e *Engine) Within(code hamming.Code, radius int) ([]int, error) {
 		}
 		sh.mu.RUnlock()
 		mu.Lock()
+		defer mu.Unlock()
 		all = append(all, global...)
-		mu.Unlock()
 	})
 	sort.Ints(all)
 	return all, nil
@@ -325,6 +328,7 @@ func mergeTopK(per [][]Result, k int) []Result {
 		all = append(all, rs...)
 	}
 	sort.Slice(all, func(a, b int) bool {
+		//lint:ignore floatcompare sort tie-break over stored scores: both operands are the same stored float64s every evaluation, so exact inequality is the determinism contract, not a hazard
 		if all[a].Score != all[b].Score {
 			return all[a].Score < all[b].Score
 		}
@@ -357,6 +361,7 @@ func runIndexed(n, workers int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				//lint:ignore deferunlock work-counter critical section inside the fetch loop; a deferred unlock would serialize the workers for their whole lifetime
 				mu.Lock()
 				i := next
 				next++

@@ -160,6 +160,7 @@ func (h *knnHeap) push(id int, d float64) {
 // less reports whether entry a is better-kept (closer) than b — the heap
 // keeps the worst on top.
 func (h *knnHeap) less(a, b int) bool {
+	//lint:ignore floatcompare heap tie-break over stored distances; exact inequality of the same stored values is the determinism contract
 	if h.dists[a] != h.dists[b] {
 		return h.dists[a] < h.dists[b]
 	}
@@ -211,6 +212,7 @@ func (t *VPTree) Search(q []float64, k int) (ids []int, visited int) {
 		ps[i] = pair{h.ids[i], h.dists[i]}
 	}
 	sort.Slice(ps, func(a, b int) bool {
+		//lint:ignore floatcompare sort tie-break over stored distances; see knnHeap.less
 		if ps[a].d != ps[b].d {
 			return ps[a].d < ps[b].d
 		}

@@ -18,6 +18,7 @@ func TopK(row []float64, k int) []int {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool {
+		//lint:ignore floatcompare sort tie-break over stored distances; exact inequality of the same stored values is the documented ascending-index determinism contract
 		if row[idx[a]] != row[idx[b]] {
 			return row[idx[a]] < row[idx[b]]
 		}

@@ -52,6 +52,7 @@ func (t Trajectory) Simplify(tolerance float64) Trajectory {
 func perpendicularDistance(p, a, b Point) float64 {
 	ab := b.Sub(a)
 	len2 := ab.X*ab.X + ab.Y*ab.Y
+	//lint:ignore floatcompare guards the division below against an exactly-degenerate segment; a near-zero length still divides finitely
 	if len2 == 0 {
 		return p.Dist(a)
 	}

@@ -1,5 +1,7 @@
 package geo
 
+//lint:file-ignore floatcompare every float equality in this file guards a division or resample step against an exactly-degenerate input (zero length, zero variance); near-zero values still compute finitely, so exact sentinels are the intended semantics
+
 import (
 	"errors"
 	"fmt"

@@ -230,6 +230,7 @@ func cosine(a, b []float64) float64 {
 		na += a[i] * a[i]
 		nb += b[i] * b[i]
 	}
+	//lint:ignore floatcompare guards the division below against exactly-zero norms (all-zero vectors); near-zero norms still divide finitely
 	if na == 0 || nb == 0 {
 		return 0
 	}

@@ -87,6 +87,7 @@ func (n *Node2Vec) walk(start int, cfg Node2VecConfig, rng *rand.Rand) []int {
 		if len(nbrs) == 0 {
 			break
 		}
+		//lint:ignore floatcompare p and q are user-set hyper-parameters; exactly 1 is node2vec's documented uniform-walk fast path
 		if len(w) == 1 || (cfg.P == 1 && cfg.Q == 1) {
 			w = append(w, nbrs[rng.Intn(len(nbrs))])
 			continue

@@ -19,6 +19,7 @@ func MatMul(a, b *Tensor) *Tensor {
 			for i := 0; i < n; i++ {
 				for j := 0; j < m; j++ {
 					g := t.Grad[i*m+j]
+					//lint:ignore floatcompare sparsity fast path: skipping exactly-zero gradients is exact; a near-zero gradient just takes the slow path
 					if g == 0 {
 						continue
 					}
@@ -47,6 +48,7 @@ func MatMul(a, b *Tensor) *Tensor {
 		orow := out.Data[i*m : (i+1)*m]
 		for p := 0; p < k; p++ {
 			av := arow[p]
+			//lint:ignore floatcompare sparsity fast path: skipping exactly-zero activations is exact (0·x contributes nothing)
 			if av == 0 {
 				continue
 			}

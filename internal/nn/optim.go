@@ -21,6 +21,7 @@ type SGD struct {
 // NewSGD returns an SGD optimizer over the parameters.
 func NewSGD(params []*Tensor, lr, momentum float64) *SGD {
 	s := &SGD{Params: params, LR: lr, Momentum: momentum}
+	//lint:ignore floatcompare momentum is a user-set hyper-parameter; exactly 0 is the documented "plain SGD, no velocity buffers" switch
 	if momentum != 0 {
 		s.velocity = make([][]float64, len(params))
 		for i, p := range params {

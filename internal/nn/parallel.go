@@ -32,6 +32,7 @@ func ForwardParallel(workers int, builders []func() *Tensor) []*Tensor {
 		go func() {
 			defer wg.Done()
 			for {
+				//lint:ignore deferunlock work-counter critical section inside the fetch loop; a deferred unlock would serialize the workers for their whole lifetime
 				mu.Lock()
 				i := next
 				next++

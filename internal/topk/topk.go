@@ -29,6 +29,7 @@ func Select(n, k int, dist func(i int) float64) []Item {
 	// Bounded max-heap of the current best k: the root is the worst kept.
 	h := make([]Item, 0, k)
 	worse := func(a, b Item) bool { // a is worse than b
+		//lint:ignore floatcompare heap tie-break over stored distances; exact inequality of the same stored values is the ascending-id determinism contract
 		if a.Dist != b.Dist {
 			return a.Dist > b.Dist
 		}

@@ -1,13 +1,36 @@
 #!/usr/bin/env sh
-# CI gate for the repository: vet, build, and run the full test suite
-# under the race detector (the engine's concurrent Add/Search tests only
-# mean something with -race). Usage: ./scripts/ci.sh [extra go test args]
+# CI gate for the repository, in order:
+#   1. gofmt cleanliness (including testdata fixtures)
+#   2. trajlint — the stdlib-only analyzer suite enforcing the repo's
+#      correctness contracts (see DESIGN.md "Static analysis & invariants")
+#   3. go vet
+#   4. go build
+#   5. full test suite under the race detector (the engine's concurrent
+#      Add/Search tests only mean something with -race)
+# Usage: ./scripts/ci.sh [extra go test args]
 set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l ."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "$unformatted"
+	echo "gofmt: the files above need formatting (run: gofmt -w .)"
+	exit 1
+fi
+
+echo "== trajlint ./..."
+go run ./cmd/trajlint ./... || {
+	echo "trajlint: a correctness contract is violated — each rule is documented in DESIGN.md 'Static analysis & invariants', including how to suppress deliberate sites with //lint:ignore <rule> <reason>"
+	exit 1
+}
+
 echo "== go vet ./..."
-go vet ./...
+go vet ./... || {
+	echo "go vet: hint — vet failures here usually break an invariant the engine relies on; see DESIGN.md 'Static analysis & invariants' before working around the report"
+	exit 1
+}
 
 echo "== go build ./..."
 go build ./...

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Fast pre-commit lint: build trajlint once and run it over the module.
+# This is the standalone version of the trajlint stage in ci.sh — a few
+# seconds instead of the full race-detector test run. The binary lands in
+# ./bin (gitignored).
+# Usage: ./scripts/lint.sh [trajlint flags] [packages]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mkdir -p bin
+go build -o bin/trajlint ./cmd/trajlint
+if [ "$#" -eq 0 ]; then
+	./bin/trajlint ./...
+else
+	./bin/trajlint "$@"
+fi
+echo "lint OK"
