@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"traj2hash"
@@ -25,6 +28,17 @@ import (
 )
 
 func main() {
+	// Ctrl-C / SIGTERM cancel the command context so long-running
+	// subcommands (train, search, experiment, all) wind down cleanly —
+	// train flushes a checkpoint, search returns partial results. A second
+	// signal unregisters the handler and kills the process the default way,
+	// so a wedged run can always be force-quit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
@@ -36,13 +50,13 @@ func main() {
 	case "import":
 		err = cmdImport(os.Args[2:])
 	case "train":
-		err = cmdTrain(os.Args[2:])
+		err = cmdTrain(ctx, os.Args[2:])
 	case "search":
-		err = cmdSearch(os.Args[2:])
+		err = cmdSearch(ctx, os.Args[2:])
 	case "experiment":
-		err = cmdExperiment(os.Args[2:])
+		err = cmdExperiment(ctx, os.Args[2:])
 	case "all":
-		err = cmdAll(os.Args[2:])
+		err = cmdAll(ctx, os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -181,13 +195,20 @@ func cmdImport(args []string) error {
 	return nil
 }
 
-func cmdTrain(args []string) error {
+func cmdTrain(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	in := fs.String("data", "dataset.gob", "dataset path (from gen)")
 	distName := fs.String("dist", "frechet", "distance function: dtw|frechet|hausdorff")
 	scale := fs.String("scale", "small", "model scale: tiny|small|medium|paper")
 	out := fs.String("out", "model.gob", "output model path")
+	ckptEvery := fs.Int("checkpoint-every", 0,
+		"write a resumable checkpoint every N epochs (0 = only on interrupt)")
+	ckptPath := fs.String("checkpoint", "", "checkpoint path (default <out>.ckpt)")
+	resume := fs.String("resume", "", "resume training from this checkpoint file")
 	fs.Parse(args)
+	if *ckptPath == "" {
+		*ckptPath = *out + ".ckpt"
+	}
 
 	ds, err := data.Load(*in)
 	if err != nil {
@@ -206,11 +227,35 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	start := time.Now()
-	h, err := m.Train(core.TrainData{
+	wroteCkpt := false
+	td := core.TrainData{
 		Seeds: ds.Seeds, Validation: ds.Validation, Corpus: ds.Corpus, F: f,
-	})
+		CheckpointEvery: *ckptEvery,
+		// The sink serves both cadenced checkpoints and the interrupt
+		// flush, so a Ctrl-C always leaves a resumable file behind (as long
+		// as at least one epoch completed).
+		OnCheckpoint: func(c *core.Checkpoint) error {
+			if err := core.SaveCheckpointFile(*ckptPath, c); err != nil {
+				return err
+			}
+			wroteCkpt = true
+			return nil
+		},
+	}
+	if *resume != "" {
+		c, err := core.LoadCheckpointFile(*resume)
+		if err != nil {
+			return fmt.Errorf("train: %w", err)
+		}
+		td.Resume = c
+		fmt.Printf("resuming from %s at epoch %d/%d\n", *resume, c.Epoch, cfg.Epochs)
+	}
+	start := time.Now()
+	h, err := m.TrainCtx(ctx, td)
 	if err != nil {
+		if ctx.Err() != nil && wroteCkpt {
+			return fmt.Errorf("%w (checkpoint saved; rerun with -resume %s)", err, *ckptPath)
+		}
 		return err
 	}
 	if err := m.SaveFile(*out); err != nil {
@@ -219,10 +264,13 @@ func cmdTrain(args []string) error {
 	fmt.Printf("trained %s on %s for %v: best validation HR@10 %.4f at epoch %d, %d triplets (%v) -> %s\n",
 		f, ds.Name, cfg.Epochs, h.BestHR10, h.BestEpoch, h.Triplets,
 		time.Since(start).Round(time.Millisecond), *out)
+	if len(h.Diverged) > 0 {
+		fmt.Printf("divergence guard tripped at epoch(s) %v; rolled back and replayed at reduced LR\n", h.Diverged)
+	}
 	return nil
 }
 
-func cmdSearch(args []string) error {
+func cmdSearch(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("search", flag.ExitOnError)
 	modelPath := fs.String("model", "model.gob", "trained model path")
 	in := fs.String("data", "dataset.gob", "dataset path; queries search its database split")
@@ -232,6 +280,8 @@ func cmdSearch(args []string) error {
 	numQueries := fs.Int("queries", 5, "number of queries to run")
 	workers := fs.Int("workers", 0, "parallel workers for embedding and search (0 = GOMAXPROCS)")
 	shards := fs.Int("shards", 1, "database shards (queries fan out across shards in parallel)")
+	timeout := fs.Duration("timeout", 0,
+		"overall search deadline; on expiry partial results are printed and flagged (0 = none)")
 	fs.Parse(args)
 
 	m, err := core.LoadFile(*modelPath)
@@ -261,15 +311,30 @@ func cmdSearch(args []string) error {
 	fmt.Printf("indexed %d trajectories in %v (%s backend, %d shard(s))\n",
 		idx.Len(), time.Since(buildStart).Round(time.Millisecond), idx.Backend(), *shards)
 
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	results := idx.SearchBatch(queries, *k)
+	results, statuses := idx.SearchBatchCtx(ctx, queries, *k)
 	elapsed := time.Since(start)
+	degraded := 0
 	for qi, res := range results {
 		ids := make([]int, len(res))
 		for i, r := range res {
 			ids[i] = r.ID
 		}
-		fmt.Printf("query %d (%d points): top-%d database ids %v\n", qi, len(queries[qi]), *k, ids)
+		note := ""
+		if !statuses[qi].Complete {
+			degraded++
+			note = fmt.Sprintf("  [partial: %d/%d shards answered]", statuses[qi].ShardsOK, *shards)
+		}
+		fmt.Printf("query %d (%d points): top-%d database ids %v%s\n", qi, len(queries[qi]), *k, ids, note)
+	}
+	if degraded > 0 {
+		fmt.Printf("warning: %d/%d queries returned partial results (deadline or shard failure)\n",
+			degraded, len(queries))
 	}
 	fmt.Printf("%s: %d queries (embed+search) in %v (%v/query)\n",
 		idx.Backend(), len(queries), elapsed.Round(time.Microsecond),
@@ -283,7 +348,7 @@ func cmdSearch(args []string) error {
 	return nil
 }
 
-func cmdExperiment(args []string) error {
+func cmdExperiment(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
 	scale := fs.String("scale", "tiny", "experiment scale: tiny|small|medium|paper")
 	verbose := fs.Bool("v", false, "log per-cell progress")
@@ -296,6 +361,11 @@ func cmdExperiment(args []string) error {
 		return err
 	}
 	for _, id := range fs.Args() {
+		// Cancellation is checked between experiments (coarse-grained: a
+		// running experiment finishes its current table before exiting).
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("experiment: interrupted before %s: %w", id, cerr)
+		}
 		exp, err := experiments.Lookup(id)
 		if err != nil {
 			return err
@@ -321,7 +391,7 @@ func cmdExperiment(args []string) error {
 	return nil
 }
 
-func cmdAll(args []string) error {
+func cmdAll(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	scale := fs.String("scale", "tiny", "experiment scale: tiny|small|medium|paper")
 	fs.Parse(args)
@@ -329,5 +399,5 @@ func cmdAll(args []string) error {
 	for _, e := range experiments.All() {
 		ids = append(ids, e.ID)
 	}
-	return cmdExperiment(append([]string{"-scale", *scale}, ids...))
+	return cmdExperiment(ctx, append([]string{"-scale", *scale}, ids...))
 }

@@ -1,6 +1,7 @@
 package traj2hash
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -8,6 +9,16 @@ import (
 	"traj2hash/internal/engine"
 	"traj2hash/internal/hamming"
 )
+
+// Status reports how completely a context-aware query was answered — the
+// failure-domain contract of the query engine (DESIGN.md "Failure
+// semantics & graceful degradation"). A query never blocks past its
+// context and never crashes the process: a panicking shard backend
+// degrades the answer into a smaller result set, and an expired deadline
+// returns whatever shards answered in time. Complete is true iff the
+// results are the exact full answer; otherwise Err carries the joined
+// per-shard failures and/or the context error.
+type Status = engine.Status
 
 // Result is one search hit: the database id and the score under the
 // backend that produced it (squared Euclidean distance for the Euclidean
@@ -208,6 +219,47 @@ func (ix *Index) SearchBatch(qs []Trajectory, k int) [][]Result {
 		out[i] = toResults(rs)
 	}
 	return out
+}
+
+// SearchCtx is Search honoring cancellation and deadlines: the shard
+// fan-out stops as soon as ctx is done and whatever shards answered in
+// time are merged into a (possibly partial) answer, tagged by the
+// returned Status. A panicking shard degrades the answer instead of
+// crashing the process.
+func (ix *Index) SearchCtx(ctx context.Context, q Trajectory, k int) ([]Result, Status) {
+	return ix.SearchByVecCtx(ctx, ix.model.Embed(q), k)
+}
+
+// SearchByVecCtx is SearchCtx with a precomputed query embedding.
+func (ix *Index) SearchByVecCtx(ctx context.Context, qe []float64, k int) ([]Result, Status) {
+	rs, st := ix.eng.SearchCtx(ctx, engine.Query{Emb: qe, Code: hamming.FromSigns(qe)}, k)
+	return toResults(rs), st
+}
+
+// SearchBatchCtx is SearchBatch honoring cancellation and deadlines.
+// Results and statuses are in query order; queries never started because
+// the context expired first carry an incomplete Status with the context
+// error. (Query embedding happens before the deadline applies to shard
+// work; embed separately and use the engine directly for finer control.)
+func (ix *Index) SearchBatchCtx(ctx context.Context, qs []Trajectory, k int) ([][]Result, []Status) {
+	embs := ix.model.EmbedAllParallel(qs, ix.opts.Workers)
+	queries := make([]engine.Query, len(embs))
+	for i, e := range embs {
+		queries[i] = engine.Query{Emb: e, Code: hamming.FromSigns(e)}
+	}
+	batches, sts := ix.eng.SearchBatchCtx(ctx, queries, k)
+	out := make([][]Result, len(batches))
+	for i, rs := range batches {
+		out[i] = toResults(rs)
+	}
+	return out, sts
+}
+
+// WithinCtx is Within honoring cancellation and deadlines; incomplete
+// answers (missed shards) are tagged by the Status.
+func (ix *Index) WithinCtx(ctx context.Context, q Trajectory, radius int) ([]int, Status) {
+	ids, st, _ := ix.eng.WithinCtx(ctx, ix.model.Code(q), radius)
+	return ids, st
 }
 
 // SearchEuclidean returns the k most similar trajectories by embedding

@@ -14,6 +14,7 @@
 //	panicattrib   — panics in internal/ carry a "pkg: " prefix
 //	deferunlock   — Lock/RLock paired with defer Unlock/RUnlock
 //	exporteddoc   — the public facade stays documented
+//	ctxfirst      — context.Context is the first parameter, never a field
 //
 // Deliberate violations are suppressed in place with
 //
@@ -94,6 +95,7 @@ func Rules() []*Rule {
 		rulePanicAttrib,
 		ruleDeferUnlock,
 		ruleExportedDoc,
+		ruleCtxFirst,
 	}
 }
 

@@ -106,6 +106,11 @@ func TestExportedDocGolden(t *testing.T) {
 	goldenCheck(t, pkg, diags)
 }
 
+func TestCtxFirstGolden(t *testing.T) {
+	diags, pkg := fixturePkg(t, "fixtures/ctxfirst", "ctxfirst")
+	goldenCheck(t, pkg, diags)
+}
+
 // --- suppression machinery ---
 
 // markLine returns the 1-based line of the first occurrence of marker in

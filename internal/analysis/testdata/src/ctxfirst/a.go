@@ -1,0 +1,76 @@
+// Package ctxfirst seeds violations for the ctxfirst rule.
+package ctxfirst
+
+import "context"
+
+// good: ctx first.
+func fetch(ctx context.Context, url string) error {
+	_ = ctx
+	_ = url
+	return nil
+}
+
+// good: no context at all.
+func pure(a, b int) int { return a + b }
+
+// bad: ctx buried behind another parameter.
+func buried(url string, ctx context.Context) error { // want:ctxfirst
+	_ = ctx
+	_ = url
+	return nil
+}
+
+// bad: ctx last among several.
+func last(a int, b string, ctx context.Context) { // want:ctxfirst
+	_ = ctx
+}
+
+// server shows the struct-field violation and a legal func-typed field.
+type server struct {
+	ctx  context.Context // want:ctxfirst
+	name string
+	// fn is fine: the context still flows per call.
+	fn func(ctx context.Context, q string) error
+}
+
+// handler is a function type; the convention applies to it too.
+type handler func(q string, ctx context.Context) error // want:ctxfirst
+
+// iface shows the interface-method case.
+type iface interface {
+	Do(q string, ctx context.Context) error // want:ctxfirst
+	OK(ctx context.Context, q string) error
+}
+
+// method: the receiver does not count as a parameter; ctx first is good.
+func (s *server) run(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// method with ctx second is bad.
+func (s *server) bad(q string, ctx context.Context) error { // want:ctxfirst
+	_ = ctx
+	_ = q
+	return nil
+}
+
+// twoCtx keeps both contexts in the leading group: position, not arity,
+// is the contract.
+func twoCtx(ctx, ctx2 context.Context, q string) {
+	_ = ctx
+	_ = ctx2
+	_ = q
+}
+
+// suppressed: a deliberate violation with a written reason stays quiet.
+type legacy struct {
+	//lint:ignore ctxfirst fixture: proves line-level suppression works for this rule
+	ctx context.Context
+}
+
+// funcLit seeds the function-literal case.
+var funcLit = func(n int, ctx context.Context) { // want:ctxfirst
+	_ = ctx
+	_ = n
+}

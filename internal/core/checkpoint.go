@@ -1,0 +1,251 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"traj2hash/internal/nn"
+)
+
+// CheckpointVersion is the on-disk format version of Checkpoint.Save.
+// Bump it on any incompatible layout change; LoadCheckpoint rejects
+// versions it does not understand instead of mis-decoding them.
+const CheckpointVersion = 1
+
+// Checkpoint is a resumable snapshot of a training run at an epoch
+// boundary: the current parameter values, the best-validation snapshot
+// for model selection, the Adam moment estimates and step counter, the
+// tanh(β·) relaxation, the (possibly guard-reduced) learning rate, and
+// the history accumulated so far.
+//
+// The RNG cursor is the epoch number itself: TrainCtx draws every
+// in-epoch sample (anchor shuffle, triplet picks) from a per-epoch
+// generator seeded by (Config.Seed, epoch), so resuming at Epoch replays
+// exactly the stream an uninterrupted run would have drawn — resumed
+// training is bitwise identical to uninterrupted training.
+type Checkpoint struct {
+	Version int
+	// Epoch is the number of completed epochs; resume starts there.
+	Epoch int
+	// Beta is the current tanh(β·) relaxation scale.
+	Beta float64
+	// LR is the current learning rate (reduced after guard rollbacks).
+	LR float64
+	// Rollbacks counts divergence-guard rollbacks taken so far.
+	Rollbacks int
+	// AdamT is the optimizer's step counter; AdamM/AdamV its moments.
+	AdamT int
+	// History is the run history up to Epoch (deep copy).
+	History History
+	// Shapes records each parameter tensor's rows×cols, validated on
+	// resume against the live model.
+	Shapes [][2]int
+
+	// Params, Best, AdamM, AdamV are parallel to Shapes.
+	Params [][]float64
+	Best   [][]float64
+	AdamM  [][]float64
+	AdamV  [][]float64
+}
+
+// checkpointMeta is the gob header of the stream written by Save; the
+// four parameter groups follow it via nn.SaveParams.
+type checkpointMeta struct {
+	Version   int
+	Epoch     int
+	Beta      float64
+	LR        float64
+	Rollbacks int
+	AdamT     int
+	History   History
+	Shapes    [][2]int
+}
+
+// tensorsOver wraps flat parameter groups in Tensor headers of the given
+// shapes (sharing the data) so nn.SaveParams/LoadParams can carry them.
+func tensorsOver(shapes [][2]int, group [][]float64) []*nn.Tensor {
+	ts := make([]*nn.Tensor, len(group))
+	for i, data := range group {
+		ts[i] = nn.FromSlice(shapes[i][0], shapes[i][1], data)
+	}
+	return ts
+}
+
+// allocGroup allocates one zeroed parameter group matching shapes.
+func allocGroup(shapes [][2]int) ([][]float64, []*nn.Tensor) {
+	group := make([][]float64, len(shapes))
+	ts := make([]*nn.Tensor, len(shapes))
+	for i, s := range shapes {
+		group[i] = make([]float64, s[0]*s[1])
+		ts[i] = nn.FromSlice(s[0], s[1], group[i])
+	}
+	return group, ts
+}
+
+// Save writes the checkpoint to w: a gob metadata header followed by the
+// four parameter groups in nn.SaveParams format.
+func (c *Checkpoint) Save(w io.Writer) error {
+	meta := checkpointMeta{
+		Version:   CheckpointVersion,
+		Epoch:     c.Epoch,
+		Beta:      c.Beta,
+		LR:        c.LR,
+		Rollbacks: c.Rollbacks,
+		AdamT:     c.AdamT,
+		History:   c.History,
+		Shapes:    c.Shapes,
+	}
+	if err := gob.NewEncoder(w).Encode(meta); err != nil {
+		return fmt.Errorf("core: checkpoint meta: %w", err)
+	}
+	for _, group := range [][][]float64{c.Params, c.Best, c.AdamM, c.AdamV} {
+		if len(group) != len(c.Shapes) {
+			return fmt.Errorf("core: checkpoint group has %d tensors, want %d", len(group), len(c.Shapes))
+		}
+		if err := nn.SaveParams(w, tensorsOver(c.Shapes, group)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by Save.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var meta checkpointMeta
+	if err := gob.NewDecoder(r).Decode(&meta); err != nil {
+		return nil, fmt.Errorf("core: checkpoint meta: %w", err)
+	}
+	if meta.Version != CheckpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, this build reads %d", meta.Version, CheckpointVersion)
+	}
+	c := &Checkpoint{
+		Version:   meta.Version,
+		Epoch:     meta.Epoch,
+		Beta:      meta.Beta,
+		LR:        meta.LR,
+		Rollbacks: meta.Rollbacks,
+		AdamT:     meta.AdamT,
+		History:   meta.History,
+		Shapes:    meta.Shapes,
+	}
+	for _, dst := range []*[][]float64{&c.Params, &c.Best, &c.AdamM, &c.AdamV} {
+		group, ts := allocGroup(meta.Shapes)
+		if err := nn.LoadParams(r, ts); err != nil {
+			return nil, err
+		}
+		*dst = group
+	}
+	return c, nil
+}
+
+// SaveCheckpointFile writes the checkpoint to path atomically: it writes
+// a sibling temp file and renames it over path, so an interrupt (the very
+// thing checkpoints exist for) never leaves a torn checkpoint behind.
+func SaveCheckpointFile(path string, c *Checkpoint) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := c.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadCheckpointFile reads a checkpoint from path. The file is wrapped
+// in a bufio.Reader so the stream's several sequential gob decoders (the
+// meta header plus the parameter groups) each see an io.ByteReader and
+// read exactly their own messages — gob.NewDecoder over a bare *os.File
+// would buffer ahead and starve the decoders after it.
+func LoadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCheckpoint(bufio.NewReader(f))
+}
+
+// checkpoint captures the live training state as a Checkpoint (deep
+// copies throughout — the snapshot must not alias tensors the next epoch
+// will mutate).
+func (m *Model) checkpoint(opt *nn.Adam, epoch int, h *History, lr float64, rollbacks int, best [][]float64) *Checkpoint {
+	ps := m.Params()
+	shapes := make([][2]int, len(ps))
+	params := make([][]float64, len(ps))
+	for i, p := range ps {
+		shapes[i] = [2]int{p.Rows, p.Cols}
+		params[i] = append([]float64(nil), p.Data...)
+	}
+	bestCopy := make([][]float64, len(best))
+	for i, b := range best {
+		bestCopy[i] = append([]float64(nil), b...)
+	}
+	t, am, av := opt.State()
+	return &Checkpoint{
+		Version:   CheckpointVersion,
+		Epoch:     epoch,
+		Beta:      m.beta,
+		LR:        lr,
+		Rollbacks: rollbacks,
+		AdamT:     t,
+		History:   h.clone(),
+		Shapes:    shapes,
+		Params:    params,
+		Best:      bestCopy,
+		AdamM:     am,
+		AdamV:     av,
+	}
+}
+
+// restoreCheckpoint writes a checkpoint back into the live model and
+// optimizer, returning the restored best snapshot and history. It
+// validates the checkpoint against the model architecture so a mismatch
+// fails loudly instead of training from garbage.
+func (m *Model) restoreCheckpoint(c *Checkpoint, opt *nn.Adam) ([][]float64, *History, error) {
+	ps := m.Params()
+	if len(c.Shapes) != len(ps) {
+		return nil, nil, fmt.Errorf("core: checkpoint has %d params, model has %d", len(c.Shapes), len(ps))
+	}
+	for i, p := range ps {
+		if c.Shapes[i] != [2]int{p.Rows, p.Cols} {
+			return nil, nil, fmt.Errorf("core: checkpoint param %d is %dx%d, model wants %dx%d",
+				i, c.Shapes[i][0], c.Shapes[i][1], p.Rows, p.Cols)
+		}
+		if len(c.Params[i]) != len(p.Data) || len(c.Best[i]) != len(p.Data) {
+			return nil, nil, fmt.Errorf("core: checkpoint param %d data length mismatch", i)
+		}
+	}
+	for i, p := range ps {
+		copy(p.Data, c.Params[i])
+	}
+	if err := opt.SetState(c.AdamT, c.AdamM, c.AdamV); err != nil {
+		return nil, nil, err
+	}
+	m.beta = c.Beta
+	best := make([][]float64, len(c.Best))
+	for i, b := range c.Best {
+		best[i] = append([]float64(nil), b...)
+	}
+	h := c.History.clone()
+	return best, &h, nil
+}
+
+// clone deep-copies a History.
+func (h History) clone() History {
+	out := h
+	out.EpochLoss = append([]float64(nil), h.EpochLoss...)
+	out.ValHR10 = append([]float64(nil), h.ValHR10...)
+	out.Diverged = append([]int(nil), h.Diverged...)
+	return out
+}

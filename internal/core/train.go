@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 
 	"traj2hash/internal/dist"
@@ -11,25 +14,61 @@ import (
 	"traj2hash/internal/nn"
 )
 
+// ErrDiverged is returned (wrapped) by Train/TrainCtx when an epoch
+// produces non-finite losses, parameters, or validation embeddings and
+// no checkpoint is available to roll back to — or the rollback budget is
+// exhausted. Callers distinguish it with errors.Is.
+var ErrDiverged = errors.New("core: training diverged (non-finite loss, parameters, or validation embeddings)")
+
 // TrainData is the input of the optimization component (Section IV-F): a
 // seed set with exact pairwise distances, a validation set for model
 // selection, an unlabelled corpus for fast triplet generation, and the
-// distance function to approximate.
+// distance function to approximate — plus the robustness knobs of
+// TrainCtx (checkpointing, resume, fault-injection hooks).
 type TrainData struct {
 	Seeds      []geo.Trajectory
 	Validation []geo.Trajectory
 	Corpus     []geo.Trajectory
 	F          dist.Func
+
+	// CheckpointEvery, when > 0 together with OnCheckpoint, emits a
+	// resumable Checkpoint every CheckpointEvery epochs (counted in
+	// absolute epoch numbers, so the cadence survives a resume).
+	CheckpointEvery int
+	// OnCheckpoint receives periodic checkpoints, and — regardless of
+	// CheckpointEvery — the last completed-epoch checkpoint when the
+	// context is canceled mid-run (SIGINT-triggered graceful exit). A
+	// non-nil error aborts training.
+	OnCheckpoint func(*Checkpoint) error
+	// Resume, when non-nil, restores an interrupted run: parameters,
+	// optimizer state, β, learning rate, and history, continuing at
+	// Resume.Epoch. The model must have been constructed with the same
+	// Config (including Seed) and study space as the interrupted run;
+	// shape mismatches are rejected.
+	Resume *Checkpoint
+	// MaxRollbacks bounds divergence-guard rollbacks before training
+	// gives up with ErrDiverged (0 means the default of 3).
+	MaxRollbacks int
+	// StepHook, when non-nil, runs after every optimizer step with the
+	// absolute epoch and the step index within it. It exists for test
+	// instrumentation (internal/faultinject's gradient poisoning) and
+	// must not be used to mutate training state in production.
+	StepHook func(epoch, step int)
 }
 
 // History records one training run.
 type History struct {
 	EpochLoss []float64 // mean combined loss per epoch
-	ValHR10   []float64 // validation HR@10 per epoch
+	ValHR10   []float64 // validation HR@10 per epoch (NaN = no validation set)
 	BestEpoch int
 	BestHR10  float64
 	Theta     float64 // the similarity smoothing actually used
 	Triplets  int     // triplets generated from the corpus
+	// Diverged lists the epochs at which the divergence guard tripped;
+	// each listed epoch was rolled back to the previous checkpoint and
+	// replayed at half the learning rate. Divergence is flagged here
+	// explicitly rather than leaking silently into ValHR10 as NaN.
+	Diverged []int
 }
 
 // RankingHinge builds the ranking-based hashing objective term of
@@ -95,8 +134,52 @@ type randSource interface {
 
 // Train runs the end-to-end optimization of Equation 21:
 // L = L_s + γ·(L_r + L_t), with Adam, HashNet β-scheduling, and
-// best-validation-HR@10 model selection (Section V-A5).
+// best-validation-HR@10 model selection (Section V-A5). It is a thin
+// wrapper over TrainCtx with a background context.
 func (m *Model) Train(td TrainData) (*History, error) {
+	return m.TrainCtx(context.Background(), td)
+}
+
+// epochRNG derives the deterministic in-epoch sample stream (anchor
+// shuffle, triplet picks) for one epoch. Keying the generator by
+// (seed, epoch) — rather than advancing one generator across epochs —
+// makes the epoch number the training run's RNG cursor: a run resumed
+// from a Checkpoint at epoch N draws exactly the stream an uninterrupted
+// run would have drawn from epoch N on, which is what makes resumed
+// training bitwise identical to uninterrupted training.
+func epochRNG(seed int64, epoch int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1000003 + int64(epoch)*7919 + 12289))
+}
+
+// paramsNonFinite reports whether any trainable parameter holds a NaN or
+// an Inf — the cheap half of the divergence guard.
+func (m *Model) paramsNonFinite() bool {
+	for _, p := range m.Params() {
+		for _, v := range p.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TrainCtx is Train with a failure domain around it:
+//
+//   - Cancellation: ctx is honored between batches; on cancellation the
+//     last completed-epoch checkpoint is flushed through td.OnCheckpoint
+//     (when set) and the ctx error is returned (wrapped), so a SIGINT
+//     costs at most one epoch of work.
+//   - Checkpointing: every td.CheckpointEvery epochs a resumable
+//     Checkpoint (parameters, Adam state, β, LR, history, best-epoch
+//     snapshot) is emitted; td.Resume restores one.
+//   - Divergence guard: an epoch ending with non-finite loss,
+//     parameters, or validation embeddings is rolled back to the last
+//     good epoch boundary and replayed at half the learning rate (the
+//     trip is recorded in History.Diverged); with no boundary to roll
+//     back to — or the rollback budget exhausted — training returns
+//     ErrDiverged instead of silently emitting NaN metrics.
+func (m *Model) TrainCtx(ctx context.Context, td TrainData) (*History, error) {
 	if len(td.Seeds) < m.Cfg.M+1 {
 		return nil, fmt.Errorf("core: need at least M+1=%d seeds, got %d", m.Cfg.M+1, len(td.Seeds))
 	}
@@ -147,18 +230,80 @@ func (m *Model) Train(td TrainData) (*History, error) {
 
 	bestSnap := m.snapshot()
 	h.BestHR10 = -1
-	anchors := make([]int, ns)
-	for i := range anchors {
-		anchors[i] = i
+	lr := cfg.LR
+	rollbacks := 0
+	maxRollbacks := td.MaxRollbacks
+	if maxRollbacks <= 0 {
+		maxRollbacks = 3
+	}
+	startEpoch := 0
+	// lastGood is the most recent completed-epoch checkpoint: the guard's
+	// rollback target and the snapshot flushed on cancellation. It is
+	// maintained every epoch (cheap at these model sizes) whether or not
+	// periodic checkpointing is on.
+	var lastGood *Checkpoint
+	if td.Resume != nil {
+		bs, hr, err := m.restoreCheckpoint(td.Resume, opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: resume: %w", err)
+		}
+		bestSnap, h = bs, hr
+		lr = td.Resume.LR
+		rollbacks = td.Resume.Rollbacks
+		startEpoch = td.Resume.Epoch
+		lastGood = td.Resume
+	}
+	opt.LR = lr
+
+	// interrupted flushes the last good checkpoint (when a sink is
+	// configured) and surfaces the context error: a canceled training run
+	// costs at most the current, incomplete epoch.
+	interrupted := func(epoch int) (*History, error) {
+		if td.OnCheckpoint != nil && lastGood != nil {
+			if err := td.OnCheckpoint(lastGood); err != nil {
+				return h, fmt.Errorf("core: checkpoint on interrupt: %w", err)
+			}
+		}
+		return h, fmt.Errorf("core: training interrupted in epoch %d: %w", epoch, context.Cause(ctx))
 	}
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		m.rng.Shuffle(len(anchors), func(i, j int) { anchors[i], anchors[j] = anchors[j], anchors[i] })
+	anchors := make([]int, ns)
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+		if ctx.Err() != nil {
+			return interrupted(epoch)
+		}
+		// The in-epoch sample stream is keyed by (seed, epoch) and the
+		// anchor order is re-derived from identity each epoch, so the
+		// epoch number alone is the RNG cursor (see epochRNG).
+		erng := epochRNG(cfg.Seed, epoch)
+		for i := range anchors {
+			anchors[i] = i
+		}
+		erng.Shuffle(len(anchors), func(i, j int) { anchors[i], anchors[j] = anchors[j], anchors[i] })
 		var epochLoss float64
-		var steps int
+		var steps, stepIdx int
+		canceled := false
+
+		step := func(loss *nn.Tensor) {
+			epochLoss += loss.Scalar()
+			steps++
+			loss.Backward()
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(opt.Params, cfg.ClipNorm)
+			}
+			opt.Step()
+			if td.StepHook != nil {
+				td.StepHook(epoch, stepIdx)
+			}
+			stepIdx++
+		}
 
 		// WMSE + seed ranking batches.
 		for lo := 0; lo < len(anchors); lo += cfg.BatchSize {
+			if ctx.Err() != nil {
+				canceled = true
+				break
+			}
 			hi := lo + cfg.BatchSize
 			if hi > len(anchors) {
 				hi = len(anchors)
@@ -167,40 +312,57 @@ func (m *Model) Train(td TrainData) (*History, error) {
 			if loss == nil {
 				continue
 			}
-			epochLoss += loss.Scalar()
-			steps++
-			loss.Backward()
-			if cfg.ClipNorm > 0 {
-				nn.ClipGradNorm(opt.Params, cfg.ClipNorm)
-			}
-			opt.Step()
+			step(loss)
 		}
 
 		// Triplet ranking batches on the generated corpus.
-		if len(triplets) > 0 {
+		if !canceled && len(triplets) > 0 {
 			for b := 0; b < tripletBatchesPerEpoch; b++ {
-				loss := m.tripletBatchLoss(td.Corpus, triplets)
+				if ctx.Err() != nil {
+					canceled = true
+					break
+				}
+				loss := m.tripletBatchLoss(td.Corpus, triplets, erng)
 				if loss == nil {
 					continue
 				}
-				epochLoss += loss.Scalar()
-				steps++
-				loss.Backward()
-				if cfg.ClipNorm > 0 {
-					nn.ClipGradNorm(opt.Params, cfg.ClipNorm)
-				}
-				opt.Step()
+				step(loss)
 			}
 		}
-
-		if steps > 0 {
-			h.EpochLoss = append(h.EpochLoss, epochLoss/float64(steps))
-		} else {
-			h.EpochLoss = append(h.EpochLoss, 0)
+		if canceled {
+			return interrupted(epoch)
 		}
 
-		// Validation HR@10 model selection.
-		hr := m.validationHR10(td.Validation, valTruth)
+		meanLoss := 0.0
+		if steps > 0 {
+			meanLoss = epochLoss / float64(steps)
+		}
+		hr, hasVal := m.validationHR10(td.Validation, valTruth)
+
+		// Divergence guard: a non-finite epoch never enters the history
+		// and never becomes lastGood — it is rolled back and replayed at
+		// half the learning rate, or surfaced as ErrDiverged when there
+		// is nothing to roll back to.
+		if math.IsNaN(meanLoss) || math.IsInf(meanLoss, 0) || m.paramsNonFinite() || (hasVal && math.IsNaN(hr)) {
+			if lastGood == nil || rollbacks >= maxRollbacks {
+				h.Diverged = append(h.Diverged, epoch)
+				return h, fmt.Errorf("core: epoch %d went non-finite with no checkpoint to roll back to (rollbacks %d/%d): %w",
+					epoch, rollbacks, maxRollbacks, ErrDiverged)
+			}
+			rollbacks++
+			lr *= 0.5
+			bs, hrz, err := m.restoreCheckpoint(lastGood, opt)
+			if err != nil {
+				return h, fmt.Errorf("core: rollback: %w", err)
+			}
+			bestSnap, h = bs, hrz
+			opt.LR = lr
+			h.Diverged = append(h.Diverged, epoch)
+			epoch = lastGood.Epoch - 1 // loop increment replays from the boundary
+			continue
+		}
+
+		h.EpochLoss = append(h.EpochLoss, meanLoss)
 		h.ValHR10 = append(h.ValHR10, hr)
 		if hr > h.BestHR10 {
 			h.BestHR10 = hr
@@ -211,6 +373,13 @@ func (m *Model) Train(td TrainData) (*History, error) {
 		// HashNet relaxation schedule: β grows each epoch, sharpening
 		// tanh(β·) toward sign(·).
 		m.beta *= cfg.BetaGrowth
+
+		lastGood = m.checkpoint(opt, epoch+1, h, lr, rollbacks, bestSnap)
+		if td.CheckpointEvery > 0 && td.OnCheckpoint != nil && (epoch+1)%td.CheckpointEvery == 0 {
+			if err := td.OnCheckpoint(lastGood); err != nil {
+				return h, fmt.Errorf("core: checkpoint at epoch %d: %w", epoch+1, err)
+			}
+		}
 	}
 	m.restore(bestSnap)
 	return h, nil
@@ -273,8 +442,10 @@ func (m *Model) seedBatchLoss(seeds []geo.Trajectory, s [][]float64, samples []s
 	return nn.Scale(sumTerms(terms), 1/float64(len(batch)))
 }
 
-// tripletBatchLoss builds γ·L_t (Equation 20) over a random triplet batch.
-func (m *Model) tripletBatchLoss(corpus []geo.Trajectory, triplets []Triplet) *nn.Tensor {
+// tripletBatchLoss builds γ·L_t (Equation 20) over a random triplet
+// batch drawn from rng — the per-epoch generator, so the picks belong to
+// the epoch's replayable sample stream (see epochRNG).
+func (m *Model) tripletBatchLoss(corpus []geo.Trajectory, triplets []Triplet, rng randSource) *nn.Tensor {
 	//lint:ignore floatcompare γ is a user-set hyper-parameter; exactly 0 is the documented "triplet loss off" switch
 	if m.Cfg.Gamma == 0 || len(triplets) == 0 {
 		return nil
@@ -294,7 +465,7 @@ func (m *Model) tripletBatchLoss(corpus []geo.Trajectory, triplets []Triplet) *n
 	}
 	var terms []*nn.Tensor
 	for b := 0; b < n; b++ {
-		t := triplets[m.rng.Intn(len(triplets))]
+		t := triplets[rng.Intn(len(triplets))]
 		hinge := RankingHinge(code(t.Anchor), code(t.Positive), code(t.Negative), m.Cfg.Alpha)
 		terms = append(terms, nn.Scale(hinge, m.Cfg.Gamma))
 	}
@@ -321,12 +492,23 @@ func sumTerms(terms []*nn.Tensor) *nn.Tensor {
 }
 
 // validationHR10 embeds the validation set and measures HR@10 of
-// Euclidean-space search against the exact ground truth.
-func (m *Model) validationHR10(val []geo.Trajectory, truth [][]int) float64 {
+// Euclidean-space search against the exact ground truth. ok reports
+// whether a validation set exists at all; with ok true, a NaN hr means
+// the validation embeddings themselves went non-finite — an explicit
+// divergence signal the guard in TrainCtx acts on, never a value that
+// silently enters the history.
+func (m *Model) validationHR10(val []geo.Trajectory, truth [][]int) (hr float64, ok bool) {
 	if len(val) == 0 {
-		return math.NaN()
+		return math.NaN(), false
 	}
 	embs := m.EmbedAll(val)
+	for i := range embs {
+		for _, v := range embs[i] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return math.NaN(), true
+			}
+		}
+	}
 	returned := make([][]int, len(val))
 	for i := range val {
 		row := make([]float64, len(val))
@@ -340,5 +522,5 @@ func (m *Model) validationHR10(val []geo.Trajectory, truth [][]int) float64 {
 		}
 		returned[i] = eval.TopK(row, 10)
 	}
-	return eval.HitRatio(returned, truth, 10)
+	return eval.HitRatio(returned, truth, 10), true
 }

@@ -67,6 +67,12 @@ type Config struct {
 	MIHChunks int
 	// VPSeed seeds vantage-point sampling of the vptree backend.
 	VPSeed int64
+	// Hooks is an opaque configuration slot for test-instrumentation
+	// backends: internal/faultinject's "faulty" backend reads its fault
+	// schedule (*faultinject.Faults) from here. Production backends
+	// ignore it, and it must never carry request-scoped state — in
+	// particular not a context.Context.
+	Hooks any
 }
 
 // Factory builds a fresh, empty backend.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -179,86 +180,39 @@ func (e *Engine) backendIndex(name string) (int, error) {
 	return 0, fmt.Errorf("engine: backend %q not maintained by this engine (have %v)", name, e.names)
 }
 
-// Search answers a top-k query with the default backend.
+// Search answers a top-k query with the default backend. It is a thin
+// wrapper over SearchCtx with a background context: no deadline, and a
+// panicking shard silently degrades the answer (use SearchCtx to observe
+// the Status).
 func (e *Engine) Search(q Query, k int) []Result {
-	rs, _ := e.SearchWith(e.names[0], q, k)
+	rs, _ := e.SearchCtx(context.Background(), q, k)
 	return rs
 }
 
 // SearchWith answers a top-k query with the named backend, fanning out
 // across shards in parallel and merging per-shard candidates into the
-// exact global top-k by (score, id).
+// exact global top-k by (score, id). Thin wrapper over SearchWithCtx.
 func (e *Engine) SearchWith(name string, q Query, k int) ([]Result, error) {
-	bi, err := e.backendIndex(name)
-	if err != nil {
-		return nil, err
-	}
-	return e.searchShards(bi, q, k), nil
-}
-
-func (e *Engine) searchShards(bi int, q Query, k int) []Result {
-	if k <= 0 {
-		return nil
-	}
-	per := make([][]Result, len(e.shards))
-	searchOne := func(si int) {
-		sh := e.shards[si]
-		//lint:ignore deferunlock hot path: the read section deliberately excludes the id remap copy-out ordering and the cross-shard merge; Backend.Search does not panic on valid engine state
-		sh.mu.RLock()
-		rs := sh.backends[bi].Search(q, k)
-		out := make([]Result, len(rs))
-		for i, r := range rs {
-			out[i] = Result{ID: sh.ids[r.ID], Score: r.Score}
-		}
-		sh.mu.RUnlock()
-		per[si] = out
-	}
-	runIndexed(len(e.shards), e.opts.Workers, searchOne)
-	return mergeTopK(per, k)
+	rs, _, err := e.SearchWithCtx(context.Background(), name, q, k)
+	return rs, err
 }
 
 // SearchBatch answers many queries with the default backend, parallelized
 // across queries by the engine's worker budget. Results are returned in
-// query order.
+// query order. Thin wrapper over SearchBatchCtx.
 func (e *Engine) SearchBatch(qs []Query, k int) [][]Result {
-	rs, _ := e.SearchBatchWith(e.names[0], qs, k)
+	rs, _ := e.SearchBatchCtx(context.Background(), qs, k)
 	return rs
 }
 
 // SearchBatchWith is SearchBatch with an explicit backend. Each worker
 // walks the shards of its query sequentially — parallelism comes from
 // query-level fan-out, which scales better than nested fan-out when the
-// batch is larger than the worker budget.
+// batch is larger than the worker budget. Thin wrapper over
+// SearchBatchWithCtx.
 func (e *Engine) SearchBatchWith(name string, qs []Query, k int) ([][]Result, error) {
-	bi, err := e.backendIndex(name)
-	if err != nil {
-		return nil, err
-	}
-	out := make([][]Result, len(qs))
-	runIndexed(len(qs), e.opts.Workers, func(qi int) {
-		out[qi] = e.searchShardsSeq(bi, qs[qi], k)
-	})
-	return out, nil
-}
-
-// searchShardsSeq is searchShards without the per-shard goroutine fan-out.
-func (e *Engine) searchShardsSeq(bi int, q Query, k int) []Result {
-	if k <= 0 {
-		return nil
-	}
-	per := make([][]Result, len(e.shards))
-	for si, sh := range e.shards {
-		//lint:ignore deferunlock hot path: one goroutine walks every shard, so a deferred unlock would hold the first shard's read lock across the whole walk
-		sh.mu.RLock()
-		rs := sh.backends[bi].Search(q, k)
-		out := make([]Result, len(rs))
-		for i, r := range rs {
-			out[i] = Result{ID: sh.ids[r.ID], Score: r.Score}
-		}
-		sh.mu.RUnlock()
-		per[si] = out
-	}
-	return mergeTopK(per, k)
+	rs, _, err := e.SearchBatchWithCtx(context.Background(), name, qs, k)
+	return rs, err
 }
 
 // radiusSearcher is the optional interface of backends that support
@@ -270,35 +224,10 @@ type radiusSearcher interface {
 // Within returns the global ids whose codes lie within the given Hamming
 // radius (0–2) of the query code, sorted ascending. It requires a backend
 // supporting radius lookups (hamming-hybrid) among the engine's backends.
+// Thin wrapper over WithinCtx.
 func (e *Engine) Within(code hamming.Code, radius int) ([]int, error) {
-	bi := -1
-	for i := range e.names {
-		if _, ok := e.shards[0].backends[i].(radiusSearcher); ok {
-			bi = i
-			break
-		}
-	}
-	if bi < 0 {
-		return nil, fmt.Errorf("engine: no radius-lookup backend (add %q)", HammingHybridName)
-	}
-	var all []int
-	var mu sync.Mutex
-	runIndexed(len(e.shards), e.opts.Workers, func(si int) {
-		sh := e.shards[si]
-		//lint:ignore deferunlock the shard read section deliberately ends before the result-gathering mutex below, keeping the two locks disjoint
-		sh.mu.RLock()
-		local := sh.backends[bi].(radiusSearcher).Within(code, radius)
-		global := make([]int, len(local))
-		for i, id := range local {
-			global[i] = sh.ids[id]
-		}
-		sh.mu.RUnlock()
-		mu.Lock()
-		defer mu.Unlock()
-		all = append(all, global...)
-	})
-	sort.Ints(all)
-	return all, nil
+	ids, _, err := e.WithinCtx(context.Background(), code, radius)
+	return ids, err
 }
 
 // FastPathCount sums the hybrid fast-path counters across shards, or 0 if
@@ -338,40 +267,4 @@ func mergeTopK(per [][]Result, k int) []Result {
 		all = all[:k]
 	}
 	return all
-}
-
-// runIndexed executes fn(0..n-1) across at most workers goroutines,
-// sharing a work counter like nn.ForwardParallel. workers ≤ 1 or n ≤ 1
-// runs inline.
-func runIndexed(n, workers int, fn func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				//lint:ignore deferunlock work-counter critical section inside the fetch loop; a deferred unlock would serialize the workers for their whole lifetime
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -127,5 +129,106 @@ func TestVPTreeMatchesEuclideanBF(t *testing.T) {
 	res := vp.Search(Query{Emb: extra}, 1)
 	if len(res) != 1 || res[0].ID != 300 || res[0].Score != 0 {
 		t.Fatalf("post-add self search = %+v", res)
+	}
+}
+
+// TestEngineEdgeCasesAllBackends sweeps the degenerate-query corners for
+// every registered backend behind a sharded engine: non-positive k, an
+// empty engine, k exceeding the corpus, and a context canceled before
+// any shard runs. These are the inputs the failure-domain contract
+// (DESIGN.md "Failure semantics & graceful degradation") pins down:
+// empty answers that need no shard work are Complete, and a dead context
+// yields an incomplete Status with zero shards consulted.
+func TestEngineEdgeCasesAllBackends(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const (
+		n   = 30
+		dim = 16
+	)
+	vecs := randVecs(rng, n, dim)
+	codes := make([]hamming.Code, n)
+	for i, v := range vecs {
+		codes[i] = hamming.FromSigns(v)
+	}
+	qv := randVecs(rng, 1, dim)[0]
+	q := Query{Emb: qv, Code: hamming.FromSigns(qv)}
+
+	for _, backend := range BackendNames() {
+		for _, shards := range []int{1, 3} {
+			mk := func(empty bool) *Engine {
+				e, err := New(Options{Backends: []string{backend}, Shards: shards, Workers: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !empty {
+					if _, err := e.AddBatch(vecs, codes); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return e
+			}
+
+			// k <= 0: exact empty answer, no shard work, Complete.
+			e := mk(false)
+			for _, k := range []int{0, -3} {
+				rs, st := e.SearchCtx(context.Background(), q, k)
+				if len(rs) != 0 {
+					t.Errorf("%s shards=%d k=%d: %d results, want 0", backend, shards, k, len(rs))
+				}
+				if !st.Complete || st.Err != nil {
+					t.Errorf("%s shards=%d k=%d: status %+v, want Complete", backend, shards, k, st)
+				}
+			}
+
+			// Empty engine: every shard answers (emptily), so Complete.
+			rs, st := mk(true).SearchCtx(context.Background(), q, 5)
+			if len(rs) != 0 {
+				t.Errorf("%s shards=%d empty engine: %d results, want 0", backend, shards, len(rs))
+			}
+			if !st.Complete {
+				t.Errorf("%s shards=%d empty engine: status %+v, want Complete", backend, shards, st)
+			}
+
+			// k > corpus: every item comes back, still Complete.
+			rs, st = e.SearchCtx(context.Background(), q, n+50)
+			if len(rs) != n {
+				t.Errorf("%s shards=%d k>n: %d results, want %d", backend, shards, len(rs), n)
+			}
+			if !st.Complete {
+				t.Errorf("%s shards=%d k>n: status %+v, want Complete", backend, shards, st)
+			}
+			seen := map[int]bool{}
+			for _, r := range rs {
+				seen[r.ID] = true
+			}
+			if len(seen) != n {
+				t.Errorf("%s shards=%d k>n: %d distinct ids, want %d", backend, shards, len(seen), n)
+			}
+
+			// Context canceled before the fan-out starts: no shard is
+			// consulted, the answer is empty and incomplete, and the
+			// status carries the context error.
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			rs, st = e.SearchCtx(ctx, q, 5)
+			if len(rs) != 0 {
+				t.Errorf("%s shards=%d canceled: %d results, want 0", backend, shards, len(rs))
+			}
+			if st.Complete || st.ShardsOK != 0 || st.ShardsFailed != 0 {
+				t.Errorf("%s shards=%d canceled: status %+v, want incomplete with no shards consulted", backend, shards, st)
+			}
+			if !errors.Is(st.Err, context.Canceled) {
+				t.Errorf("%s shards=%d canceled: err %v, want context.Canceled", backend, shards, st.Err)
+			}
+
+			// The batch path under a dead context: per-query statuses all
+			// incomplete.
+			_, sts := e.SearchBatchCtx(ctx, []Query{q, q, q}, 5)
+			for qi, s := range sts {
+				if s.Complete {
+					t.Errorf("%s shards=%d canceled batch query %d: status %+v, want incomplete", backend, shards, qi, s)
+				}
+			}
+		}
 	}
 }

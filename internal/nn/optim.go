@@ -1,6 +1,9 @@
 package nn
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Optimizer updates parameters from their accumulated gradients.
 type Optimizer interface {
@@ -105,6 +108,43 @@ func (a *Adam) Step() {
 
 // ZeroGrad implements Optimizer.
 func (a *Adam) ZeroGrad() { zeroAll(a.Params) }
+
+// State returns the optimizer's step counter and first/second moment
+// estimates as deep copies, in Params order — the optimizer half of a
+// training checkpoint (core.Checkpoint). Restoring it with SetState
+// resumes the exact bias-correction schedule and per-weight adaptivity
+// an uninterrupted run would have had.
+func (a *Adam) State() (t int, m, v [][]float64) {
+	m = make([][]float64, len(a.m))
+	v = make([][]float64, len(a.v))
+	for i := range a.m {
+		m[i] = append([]float64(nil), a.m[i]...)
+		v[i] = append([]float64(nil), a.v[i]...)
+	}
+	return a.t, m, v
+}
+
+// SetState restores a step counter and moment estimates captured by
+// State. The moment slices must match the optimizer's parameters in
+// count and length; the data is copied in, so the caller keeps ownership.
+func (a *Adam) SetState(t int, m, v [][]float64) error {
+	if len(m) != len(a.Params) || len(v) != len(a.Params) {
+		return fmt.Errorf("nn: adam state has %d/%d moment vectors, optimizer has %d params",
+			len(m), len(v), len(a.Params))
+	}
+	for i, p := range a.Params {
+		if len(m[i]) != len(p.Data) || len(v[i]) != len(p.Data) {
+			return fmt.Errorf("nn: adam state param %d has %d/%d moments, want %d",
+				i, len(m[i]), len(v[i]), len(p.Data))
+		}
+	}
+	a.t = t
+	for i := range m {
+		copy(a.m[i], m[i])
+		copy(a.v[i], v[i])
+	}
+	return nil
+}
 
 func zeroAll(params []*Tensor) {
 	for _, p := range params {

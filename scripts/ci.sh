@@ -5,7 +5,12 @@
 #      correctness contracts (see DESIGN.md "Static analysis & invariants")
 #   3. go vet
 #   4. go build
-#   5. full test suite under the race detector (the engine's concurrent
+#   5. fault-injection scenarios under the race detector — the
+#      failure-domain contracts (panic isolation, deadlines, checkpoint
+#      rollback; see DESIGN.md "Failure semantics & graceful degradation")
+#      run first and fast, so a broken contract fails the gate before the
+#      full suite spins up
+#   6. full test suite under the race detector (the engine's concurrent
 #      Add/Search tests only mean something with -race)
 # Usage: ./scripts/ci.sh [extra go test args]
 set -eu
@@ -34,6 +39,13 @@ go vet ./... || {
 
 echo "== go build ./..."
 go build ./...
+
+echo "== go test -race (fault-injection scenarios)"
+go test -race -run 'Fault|Panic|Chaos|Deadline|Checkpoint|Resume|Diverg|Rollback|Cancel|EdgeCases' \
+	./internal/engine ./internal/faultinject ./internal/core || {
+	echo "fault injection: a failure-domain contract is broken — partial results, panic isolation, and checkpoint rollback are specified in DESIGN.md 'Failure semantics & graceful degradation'"
+	exit 1
+}
 
 echo "== go test -race ./... $*"
 go test -race "$@" ./...
