@@ -98,7 +98,9 @@ func cmdGen(args []string) error {
 	scale := fs.String("scale", "small", "dataset scale: tiny|small|medium|paper")
 	out := fs.String("out", "dataset.gob", "output path")
 	seed := fs.Int64("seed", 1, "generation seed")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	c, err := cityByName(*city)
 	if err != nil {
@@ -136,7 +138,9 @@ func cmdImport(args []string) error {
 	corpusFrac := fs.Float64("corpus", 0.30, "fraction used as triplet corpus")
 	queryFrac := fs.Float64("queries", 0.05, "fraction used as test queries")
 	seed := fs.Int64("seed", 1, "shuffle seed")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
 		return fmt.Errorf("import: -csv is required")
 	}
@@ -205,7 +209,9 @@ func cmdTrain(ctx context.Context, args []string) error {
 		"write a resumable checkpoint every N epochs (0 = only on interrupt)")
 	ckptPath := fs.String("checkpoint", "", "checkpoint path (default <out>.ckpt)")
 	resume := fs.String("resume", "", "resume training from this checkpoint file")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *ckptPath == "" {
 		*ckptPath = *out + ".ckpt"
 	}
@@ -282,7 +288,9 @@ func cmdSearch(ctx context.Context, args []string) error {
 	shards := fs.Int("shards", 1, "database shards (queries fan out across shards in parallel)")
 	timeout := fs.Duration("timeout", 0,
 		"overall search deadline; on expiry partial results are printed and flagged (0 = none)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	m, err := core.LoadFile(*modelPath)
 	if err != nil {
@@ -352,7 +360,9 @@ func cmdExperiment(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
 	scale := fs.String("scale", "tiny", "experiment scale: tiny|small|medium|paper")
 	verbose := fs.Bool("v", false, "log per-cell progress")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if fs.NArg() < 1 {
 		return fmt.Errorf("experiment: need an id (table1..3, fig4..9, extra-cdtw)")
 	}
@@ -394,7 +404,9 @@ func cmdExperiment(ctx context.Context, args []string) error {
 func cmdAll(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	scale := fs.String("scale", "tiny", "experiment scale: tiny|small|medium|paper")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	ids := make([]string, 0, len(experiments.All()))
 	for _, e := range experiments.All() {
 		ids = append(ids, e.ID)

@@ -1,11 +1,16 @@
 // Command trajlint runs the repo's static-analysis rule suite
 // (internal/analysis) over the module: stdlib-only, no go/packages, no
-// external analyzers. It exits non-zero when any diagnostic survives the
-// //lint:ignore suppressions, which makes it a CI gate:
+// external analyzers. It is a CI gate with meaningful exit codes:
+//
+//	0  clean — no diagnostic survived the //lint:ignore suppressions
+//	1  findings — the analysis ran and reported at least one diagnostic
+//	2  trajlint itself failed — bad flags, unknown rule, unloadable code
 //
 //	trajlint ./...                   # whole module
 //	trajlint -rules deferunlock ./internal/engine
 //	trajlint -json ./... | jq .
+//	trajlint -fix ./...              # apply mechanical fixes, re-lint
+//	trajlint -cache bin/trajlint-cache ./...   # warm runs skip unchanged packages
 //
 // Diagnostics print as "file:line:col rule: message" with paths relative
 // to the working directory.
@@ -15,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -27,11 +33,16 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
-	fs := flag.NewFlagSet("trajlint", flag.ExitOnError)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("trajlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	rulesFlag := fs.String("rules", "", "comma-separated rule names to run (default: all)")
 	jsonFlag := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
 	dirFlag := fs.String("C", ".", "module directory to lint (must contain go.mod)")
+	fixFlag := fs.Bool("fix", false, "apply suggested fixes, then re-analyze and report what remains")
+	cacheFlag := fs.String("cache", "", "diagnostic cache directory (empty disables the cache)")
+	jobsFlag := fs.Int("jobs", 0, "analysis parallelism (0 = GOMAXPROCS)")
+	statsFlag := fs.Bool("stats", false, "report package and cache-hit counts on stderr")
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -51,18 +62,48 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	loader, err := analysis.NewLoader(*dirFlag)
-	if err != nil {
-		fmt.Fprintln(stderr, "trajlint:", err)
-		return 2
-	}
-	pkgs, err := loader.LoadPatterns(fs.Args())
-	if err != nil {
-		fmt.Fprintln(stderr, "trajlint:", err)
-		return 2
+	// analyze runs one full pass with a fresh loader — after -fix
+	// rewrites files, stale syntax trees must not leak into the re-run.
+	analyze := func() ([]analysis.Diagnostic, analysis.DriverStats, error) {
+		loader, err := analysis.NewLoader(*dirFlag)
+		if err != nil {
+			return nil, analysis.DriverStats{}, err
+		}
+		drv := &analysis.Driver{Loader: loader, Rules: rules, CacheDir: *cacheFlag, Jobs: *jobsFlag}
+		return drv.Run(fs.Args())
 	}
 
-	diags := analysis.Run(pkgs, rules)
+	diags, stats, err := analyze()
+	if err != nil {
+		fmt.Fprintln(stderr, "trajlint:", err)
+		return 2
+	}
+	if *statsFlag {
+		fmt.Fprintf(stderr, "trajlint: %d package(s), %d cached, %d analyzed\n",
+			stats.Packages, stats.CacheHits, stats.CacheMisses)
+	}
+
+	if *fixFlag {
+		res, err := analysis.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintln(stderr, "trajlint:", err)
+			return 2
+		}
+		if res.Applied > 0 {
+			fmt.Fprintf(stderr, "trajlint: applied %d fix(es) across %d file(s)", res.Applied, len(res.Changed))
+			if res.Skipped > 0 {
+				fmt.Fprintf(stderr, " (%d overlapping fix(es) skipped)", res.Skipped)
+			}
+			fmt.Fprintln(stderr)
+			// Changed files mean changed content hashes, so the re-run
+			// re-analyzes exactly the affected packages even with the
+			// cache on.
+			if diags, _, err = analyze(); err != nil {
+				fmt.Fprintln(stderr, "trajlint:", err)
+				return 2
+			}
+		}
+	}
 	relativize(diags)
 
 	if *jsonFlag {
@@ -103,12 +144,15 @@ func relativize(diags []analysis.Diagnostic) {
 	}
 }
 
-func usage(fs *flag.FlagSet, w *os.File) {
+func usage(fs *flag.FlagSet, w io.Writer) {
 	fmt.Fprintf(w, `usage: trajlint [flags] [packages]
 
 trajlint enforces the repo's correctness contracts with a stdlib-only
 analyzer suite. Packages default to ./...; a trailing /... walks
 directories (testdata, vendor, and hidden directories are skipped).
+
+Exit codes: 0 clean, 1 findings, 2 trajlint failure (bad flags,
+unknown rule, unloadable packages).
 
 Flags:
 `)
@@ -121,7 +165,7 @@ Flags:
 		fmt.Fprintf(w, "  %-14s %s\n", r.Name, r.Doc)
 	}
 	fmt.Fprintf(w, `
-Fixable rules (mechanical fixes, apply by hand):
+Fixable rules (run with -fix to apply mechanically):
 `)
 	for _, r := range rules {
 		if r.Fix != "" {
@@ -129,8 +173,8 @@ Fixable rules (mechanical fixes, apply by hand):
 		}
 	}
 	fmt.Fprintf(w, `
-Suppressions (reason is mandatory; a missing reason or unknown rule is
-itself a diagnostic):
+Suppressions (reason is mandatory; a missing reason, an unknown rule, or
+a suppression that no longer matches any finding is itself a diagnostic):
   //lint:ignore <rule> <reason>        suppresses <rule> on this line and the next
   //lint:file-ignore <rule> <reason>   suppresses <rule> in the whole file
 `)

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for exit-code tests.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+const dirtySrc = `// Package tmpmod is a CLI-test fixture.
+package tmpmod
+
+// Eq compares floats exactly — a seeded violation.
+func Eq(x, y float64) bool { return x == y }
+`
+
+// TestExitCodeFindings: a surviving diagnostic exits 1, and the finding
+// prints in file:line:col form.
+func TestExitCodeFindings(t *testing.T) {
+	dir := writeModule(t, map[string]string{"eq.go": dirtySrc})
+	code, out, errb := runCLI(t, "-C", dir, "-rules", "floatcompare", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (findings)\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+	if !strings.Contains(out, "floatcompare") || !strings.Contains(out, "eq.go:5") {
+		t.Errorf("stdout should carry the finding, got: %s", out)
+	}
+	if !strings.Contains(errb, "1 finding(s)") {
+		t.Errorf("stderr should summarize the finding count, got: %s", errb)
+	}
+}
+
+// TestExitCodeClean: nothing to report exits 0.
+func TestExitCodeClean(t *testing.T) {
+	dir := writeModule(t, map[string]string{"eq.go": dirtySrc})
+	code, out, _ := runCLI(t, "-C", dir, "-rules", "noglobalrand", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (clean)\nstdout: %s", code, out)
+	}
+}
+
+// TestExitCodeInternalErrors: trajlint's own failures — bad flags,
+// unknown rules, unloadable packages, missing module — exit 2, never 1,
+// so CI can tell "the gate fired" from "the gate is broken".
+func TestExitCodeInternalErrors(t *testing.T) {
+	dir := writeModule(t, map[string]string{"eq.go": dirtySrc})
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown rule", []string{"-C", dir, "-rules", "nosuchrule", "./..."}},
+		{"bad flag", []string{"-definitely-not-a-flag"}},
+		{"missing package", []string{"-C", dir, "./nope/..."}},
+		{"no module", []string{"-C", t.TempDir(), "./..."}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, errb := runCLI(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2\nstdout: %s\nstderr: %s", code, out, errb)
+			}
+		})
+	}
+}
+
+// TestJSONOutput: -json emits a machine-readable array on stdout (still
+// exit 1 on findings) and an empty array, not null, when clean.
+func TestJSONOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{"eq.go": dirtySrc})
+	code, out, _ := runCLI(t, "-C", dir, "-rules", "floatcompare", "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(out, `"rule": "floatcompare"`) {
+		t.Errorf("JSON output should carry the finding, got: %s", out)
+	}
+	code, out, _ = runCLI(t, "-C", dir, "-rules", "noglobalrand", "-json", "./...")
+	if code != 0 || strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean -json run: exit %d, stdout %q; want 0 and []", code, out)
+	}
+}
+
+// TestFixFlag: -fix applies the mechanical fixes, re-analyzes, and exits
+// by what remains; a second run is a no-op.
+func TestFixFlag(t *testing.T) {
+	dir := writeModule(t, map[string]string{"undoc.go": `package tmpmod
+
+func Exported() int { return 0 }
+`})
+	code, _, _ := runCLI(t, "-C", dir, "-rules", "exporteddoc", "./...")
+	if code != 1 {
+		t.Fatalf("pre-fix exit = %d, want 1", code)
+	}
+	code, out, errb := runCLI(t, "-C", dir, "-rules", "exporteddoc", "-fix", "./...")
+	if code != 0 {
+		t.Fatalf("-fix exit = %d, want 0 after stubs are inserted\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+	if !strings.Contains(errb, "applied") {
+		t.Errorf("-fix should report what it applied, got: %s", errb)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "undoc.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := string(data)
+	if !strings.Contains(fixed, "// Exported TODO: document.") ||
+		!strings.Contains(fixed, "// Package tmpmod TODO: document.") {
+		t.Errorf("stub docs missing after -fix:\n%s", fixed)
+	}
+	code, _, _ = runCLI(t, "-C", dir, "-rules", "exporteddoc", "-fix", "./...")
+	if code != 0 {
+		t.Fatalf("second -fix exit = %d, want 0 (idempotent)", code)
+	}
+	data2, err := os.ReadFile(filepath.Join(dir, "undoc.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data2) != fixed {
+		t.Errorf("second -fix changed the file:\n%s\nvs\n%s", data2, fixed)
+	}
+}
+
+// TestCacheFlag: warm runs replay from the cache and say so under
+// -stats.
+func TestCacheFlag(t *testing.T) {
+	dir := writeModule(t, map[string]string{"eq.go": dirtySrc})
+	cache := t.TempDir()
+	_, _, errb := runCLI(t, "-C", dir, "-rules", "floatcompare", "-cache", cache, "-stats", "./...")
+	if !strings.Contains(errb, "0 cached") {
+		t.Errorf("cold -stats should report 0 cached, got: %s", errb)
+	}
+	code, out, errb := runCLI(t, "-C", dir, "-rules", "floatcompare", "-cache", cache, "-stats", "./...")
+	if code != 1 {
+		t.Fatalf("warm exit = %d, want 1 (replayed findings still gate)", code)
+	}
+	if !strings.Contains(errb, "1 cached") || !strings.Contains(errb, "0 analyzed") {
+		t.Errorf("warm -stats should report a full cache hit, got: %s", errb)
+	}
+	if !strings.Contains(out, "floatcompare") {
+		t.Errorf("replayed findings should still print, got: %s", out)
+	}
+}

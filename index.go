@@ -258,6 +258,7 @@ func (ix *Index) SearchBatchCtx(ctx context.Context, qs []Trajectory, k int) ([]
 // WithinCtx is Within honoring cancellation and deadlines; incomplete
 // answers (missed shards) are tagged by the Status.
 func (ix *Index) WithinCtx(ctx context.Context, q Trajectory, radius int) ([]int, Status) {
+	//lint:ignore errcheck the built-in backend registration makes the config error impossible here
 	ids, st, _ := ix.eng.WithinCtx(ctx, ix.model.Code(q), radius)
 	return ids, st
 }
@@ -272,6 +273,7 @@ func (ix *Index) SearchEuclidean(q Trajectory, k int) []Result {
 // SearchEuclideanByVec is SearchEuclidean with a precomputed query
 // embedding (from Model.Embed).
 func (ix *Index) SearchEuclideanByVec(qe []float64, k int) []Result {
+	//lint:ignore errcheck the built-in backend name is always registered; the config error is impossible
 	rs, _ := ix.eng.SearchWith(BackendEuclideanBF, engine.Query{Emb: qe}, k)
 	return toResults(rs)
 }
@@ -286,6 +288,7 @@ func (ix *Index) SearchHamming(q Trajectory, k int) []Result {
 // SearchHammingByCode is SearchHamming with a precomputed query code (from
 // Model.Code or SignCode).
 func (ix *Index) SearchHammingByCode(qc Code, k int) []Result {
+	//lint:ignore errcheck the built-in backend name is always registered; the config error is impossible
 	rs, _ := ix.eng.SearchWith(BackendHammingBF, engine.Query{Code: qc}, k)
 	return toResults(rs)
 }
@@ -300,6 +303,7 @@ func (ix *Index) SearchHybrid(q Trajectory, k int) []Result {
 
 // SearchHybridByCode is SearchHybrid with a precomputed query code.
 func (ix *Index) SearchHybridByCode(qc Code, k int) []Result {
+	//lint:ignore errcheck the built-in backend name is always registered; the config error is impossible
 	rs, _ := ix.eng.SearchWith(BackendHammingHybrid, engine.Query{Code: qc}, k)
 	return toResults(rs)
 }
@@ -313,6 +317,7 @@ func (ix *Index) HybridFastPaths() int64 { return ix.eng.FastPathCount() }
 // neighborhood used for gathering-pattern style grouping (see
 // examples/clustering). Ids are sorted ascending.
 func (ix *Index) Within(q Trajectory, radius int) []int {
+	//lint:ignore errcheck the built-in backend registration makes the config error impossible here
 	ids, _ := ix.eng.Within(ix.model.Code(q), radius)
 	return ids
 }

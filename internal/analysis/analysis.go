@@ -33,8 +33,9 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding: a position, the rule that fired, and a
-// human-readable message.
+// Diagnostic is one finding: a position, the rule that fired, a
+// human-readable message, and (for mechanically fixable findings) a
+// suggested fix.
 type Diagnostic struct {
 	Pos     token.Position `json:"-"`
 	File    string         `json:"file"`
@@ -42,6 +43,9 @@ type Diagnostic struct {
 	Col     int            `json:"col"`
 	Rule    string         `json:"rule"`
 	Message string         `json:"message"`
+	// Fix, when non-nil, is a byte-offset edit script that resolves the
+	// finding; `trajlint -fix` applies it (see fix.go).
+	Fix *Fix `json:"fix,omitempty"`
 }
 
 // String renders the diagnostic in the canonical file:line:col form.
@@ -75,6 +79,12 @@ type Pass struct {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportFix(pos, nil, format, args...)
+}
+
+// ReportFix records a finding at pos carrying a suggested fix (which may
+// be nil).
+func (p *Pass) ReportFix(pos token.Pos, fix *Fix, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:     position,
@@ -83,10 +93,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Col:     position.Column,
 		Rule:    p.Rule.Name,
 		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
 	})
 }
 
-// Rules returns the full rule suite in a deterministic order.
+// Rules returns the full rule suite in a deterministic order: the
+// syntactic/type rules first, then the CFG/dataflow rules (errcheck,
+// lockorder, goroutineleak — see cfg.go and dataflow.go).
 func Rules() []*Rule {
 	return []*Rule{
 		ruleNoGlobalRand,
@@ -96,6 +109,9 @@ func Rules() []*Rule {
 		ruleDeferUnlock,
 		ruleExportedDoc,
 		ruleCtxFirst,
+		ruleErrcheck,
+		ruleLockOrder,
+		ruleGoroutineLeak,
 	}
 }
 
@@ -133,23 +149,45 @@ func SelectRules(names []string) ([]*Rule, error) {
 
 // Run applies the given rules to the given packages, filters the findings
 // through //lint:ignore suppressions, appends directive diagnostics
-// (malformed or unknown-rule suppressions), and returns everything sorted
-// by (file, line, col, rule).
+// (malformed or unknown-rule suppressions, and stale suppressions whose
+// rule ran but produced nothing for them to hide), and returns everything
+// sorted by (file, line, col, rule).
 func Run(pkgs []*Package, rules []*Rule) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		var raw []Diagnostic
-		for _, r := range rules {
-			r.Run(&Pass{Rule: r, Pkg: pkg, diags: &raw})
-		}
-		sup, directiveDiags := collectSuppressions(pkg)
-		for _, d := range raw {
-			if !sup.suppresses(d) {
-				diags = append(diags, d)
-			}
-		}
-		diags = append(diags, directiveDiags...)
+		diags = append(diags, runPackage(pkg, rules)...)
 	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// runPackage is one package's full analysis: rules, suppression
+// filtering, directive validation, and the staleness scan. The result is
+// unsorted; it is also exactly what the driver caches per package.
+func runPackage(pkg *Package, rules []*Rule) []Diagnostic {
+	var raw []Diagnostic
+	for _, r := range rules {
+		r.Run(&Pass{Rule: r, Pkg: pkg, diags: &raw})
+	}
+	selected := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		selected[r.Name] = true
+	}
+	sup, directiveDiags := collectSuppressions(pkg)
+	var diags []Diagnostic
+	for _, d := range raw {
+		if !sup.suppresses(d) {
+			diags = append(diags, d)
+		}
+	}
+	diags = append(diags, directiveDiags...)
+	diags = append(diags, sup.stale(pkg, selected)...)
+	return diags
+}
+
+// SortDiagnostics orders diags by (file, line, col, rule) — the canonical
+// presentation order Run and the driver both emit.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -163,7 +201,6 @@ func Run(pkgs []*Package, rules []*Rule) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
-	return diags
 }
 
 // inspect walks every file of the pass's package in source order, calling

@@ -111,6 +111,46 @@ func TestCtxFirstGolden(t *testing.T) {
 	goldenCheck(t, pkg, diags)
 }
 
+func TestErrcheckGolden(t *testing.T) {
+	diags, pkg := fixturePkg(t, "fixtures/errcheck", "errcheck")
+	goldenCheck(t, pkg, diags)
+}
+
+func TestLockOrderGolden(t *testing.T) {
+	diags, pkg := fixturePkg(t, "fixtures/lockorder", "lockorder")
+	goldenCheck(t, pkg, diags)
+}
+
+func TestGoroutineLeakGolden(t *testing.T) {
+	diags, pkg := fixturePkg(t, "fixtures/goroutineleak", "goroutineleak")
+	goldenCheck(t, pkg, diags)
+}
+
+// TestStaleSuppressionGolden: a well-formed directive that suppresses
+// nothing is diagnosed under the directive pseudo-rule, with a fix
+// deleting it; live directives stay silent.
+func TestStaleSuppressionGolden(t *testing.T) {
+	diags, pkg := fixturePkg(t, "fixtures/stale", "floatcompare")
+	goldenCheck(t, pkg, diags)
+	for _, d := range diags {
+		if d.Rule != DirectiveRule {
+			continue
+		}
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			t.Errorf("%s: stale-suppression diagnostic should carry a delete fix", d)
+		}
+	}
+}
+
+// TestStaleSuppressionScopedToSelectedRules: a -rules filter must not
+// condemn directives for rules it never ran.
+func TestStaleSuppressionScopedToSelectedRules(t *testing.T) {
+	diags, _ := fixturePkg(t, "fixtures/stale", "deferunlock")
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic with floatcompare unselected: %s", d)
+	}
+}
+
 // --- suppression machinery ---
 
 // markLine returns the 1-based line of the first occurrence of marker in

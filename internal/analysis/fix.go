@@ -1,0 +1,207 @@
+package analysis
+
+// The autofix engine behind `trajlint -fix`. Rules attach a *Fix — a
+// byte-offset edit script — to mechanically resolvable diagnostics via
+// Pass.ReportFix; ApplyFixes groups the surviving (unsuppressed) fixes
+// by file, rejects overlapping edits (first writer wins, later ones are
+// skipped and stay reported), applies them in one pass per file,
+// re-formats the result with go/format, and writes atomically
+// (temp + rename in the same directory).
+//
+// The engine is idempotent by construction: a fix resolves its
+// diagnostic, so re-running the analysis after an apply produces no
+// further fixes and the second `-fix` run is a no-op. The fix
+// idempotency test locks this in for every fixable rule.
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Edit is one byte-offset splice in one file: the half-open range
+// [Start, End) is replaced by NewText.
+type Edit struct {
+	File  string `json:"file"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	New   string `json:"new"`
+}
+
+// Fix is a suggested mechanical resolution of one diagnostic.
+type Fix struct {
+	// Message describes the edit ("convert to defer", "delete stale
+	// directive", ...).
+	Message string `json:"message"`
+	Edits   []Edit `json:"edits"`
+}
+
+// editAt builds an Edit covering [pos, end) in the file of pos.
+func (p *Pass) editAt(pos, end token.Pos, newText string) Edit {
+	a := p.Pkg.Fset.Position(pos)
+	b := p.Pkg.Fset.Position(end)
+	return Edit{File: a.Filename, Start: a.Offset, End: b.Offset, New: newText}
+}
+
+// lineEditAt builds an Edit deleting the whole line of pos (including the
+// trailing newline), for removing statements and directives cleanly.
+func (p *Pass) lineEditAt(pos token.Pos, src []byte) Edit {
+	return lineEditIn(p.Pkg.Fset, pos, src)
+}
+
+// lineEditIn is lineEditAt against an explicit FileSet, for callers
+// outside a rule pass (the staleness scan).
+func lineEditIn(fset *token.FileSet, pos token.Pos, src []byte) Edit {
+	position := fset.Position(pos)
+	start := position.Offset
+	for start > 0 && src[start-1] != '\n' {
+		start--
+	}
+	end := position.Offset
+	for end < len(src) && src[end] != '\n' {
+		end++
+	}
+	if end < len(src) {
+		end++ // include the newline
+	}
+	return Edit{File: position.Filename, Start: start, End: end, New: ""}
+}
+
+// FileSource returns the raw bytes of one of the package's files, for
+// rules that compute line-precise edits.
+func (p *Pass) FileSource(filename string) ([]byte, error) {
+	return os.ReadFile(filename)
+}
+
+// ApplyResult reports what one ApplyFixes call did.
+type ApplyResult struct {
+	// Changed lists the files rewritten, sorted.
+	Changed []string
+	// Applied counts the fixes applied; Skipped counts fixes dropped
+	// because they overlapped an earlier edit in the same file.
+	Applied, Skipped int
+}
+
+// ApplyFixes applies every suggested fix carried by diags. Overlapping
+// edits are resolved first-come (diagnostic order, which Run sorts by
+// position): a fix that overlaps an already-accepted edit is skipped
+// whole. Each changed file is re-formatted with go/format and written
+// atomically.
+func ApplyFixes(diags []Diagnostic) (ApplyResult, error) {
+	var res ApplyResult
+	type fileEdits struct {
+		edits []Edit
+	}
+	byFile := map[string]*fileEdits{}
+	var order []string
+
+	accept := func(f *Fix) bool {
+		// All edits of one fix apply or none do.
+		for _, e := range f.Edits {
+			fe := byFile[e.File]
+			if fe == nil {
+				continue
+			}
+			for _, prev := range fe.edits {
+				if e.Start < prev.End && prev.Start < e.End {
+					return false
+				}
+				// Two pure insertions at the same offset would be
+				// order-ambiguous; reject the later one.
+				if e.Start == prev.Start && e.End == e.Start && prev.End == prev.Start {
+					return false
+				}
+			}
+		}
+		for _, e := range f.Edits {
+			fe := byFile[e.File]
+			if fe == nil {
+				fe = &fileEdits{}
+				byFile[e.File] = fe
+				order = append(order, e.File)
+			}
+			fe.edits = append(fe.edits, e)
+		}
+		return true
+	}
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			continue
+		}
+		if accept(d.Fix) {
+			res.Applied++
+		} else {
+			res.Skipped++
+		}
+	}
+	sort.Strings(order)
+	for _, file := range order {
+		if err := applyFileEdits(file, byFile[file].edits); err != nil {
+			return res, err
+		}
+		res.Changed = append(res.Changed, file)
+	}
+	return res, nil
+}
+
+// applyFileEdits splices the (non-overlapping) edits into the file,
+// formats, and writes atomically.
+func applyFileEdits(file string, edits []Edit) error {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return fmt.Errorf("analysis: %w", err)
+	}
+	sort.Slice(edits, func(i, j int) bool { return edits[i].Start < edits[j].Start })
+	var out []byte
+	last := 0
+	for _, e := range edits {
+		if e.Start < last || e.End > len(src) || e.End < e.Start {
+			return fmt.Errorf("analysis: invalid edit [%d,%d) in %s", e.Start, e.End, file)
+		}
+		out = append(out, src[last:e.Start]...)
+		out = append(out, e.New...)
+		last = e.End
+	}
+	out = append(out, src[last:]...)
+	formatted, err := format.Source(out)
+	if err != nil {
+		// A fix must never leave a file unparsable; keep the tree intact.
+		return fmt.Errorf("analysis: fix for %s produced unparsable source: %w", file, err)
+	}
+	return writeFileAtomic(file, formatted)
+}
+
+// writeFileAtomic writes data to path via a temp file + rename in the
+// same directory, preserving the original mode.
+func writeFileAtomic(path string, data []byte) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("analysis: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".fix*")
+	if err != nil {
+		return fmt.Errorf("analysis: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		//lint:ignore errcheck the write error takes precedence over the cleanup close
+		tmp.Close()
+		return fmt.Errorf("analysis: %w", err)
+	}
+	if err := tmp.Chmod(info.Mode()); err != nil {
+		//lint:ignore errcheck the chmod error takes precedence over the cleanup close
+		tmp.Close()
+		return fmt.Errorf("analysis: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("analysis: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("analysis: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixRules is the fixable subset exercised by the apply tests.
+var fixRules = []string{"deferunlock", "exporteddoc"}
+
+// copyFixture copies testdata/src/<name> into a fresh temp tree and
+// returns the tree root (a writable stand-in for the fixtures module).
+func copyFixture(t *testing.T, name string) string {
+	t.Helper()
+	root := t.TempDir()
+	srcDir := filepath.Join("testdata", "src", name)
+	dstDir := filepath.Join(root, name)
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dstDir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func lintFixable(t *testing.T, root string) []Diagnostic {
+	t.Helper()
+	l := NewLoaderAt(root, "fixtures")
+	pkg, err := l.Load("fixtures/fixable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := SelectRules(fixRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run([]*Package{pkg}, rules)
+}
+
+// TestApplyFixesResolvesAndIsIdempotent: every finding in the fixable
+// fixture carries a fix; applying them leaves a gofmt-clean tree with
+// zero findings, and a second -fix pass changes nothing.
+func TestApplyFixesResolvesAndIsIdempotent(t *testing.T) {
+	root := copyFixture(t, "fixable")
+	diags := lintFixable(t, root)
+	if len(diags) == 0 {
+		t.Fatal("fixable fixture should produce findings")
+	}
+	for _, d := range diags {
+		if d.Fix == nil {
+			t.Errorf("%s: expected a suggested fix", d)
+		}
+	}
+	res, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != len(diags) || res.Skipped != 0 {
+		t.Fatalf("applied %d, skipped %d; want %d applied, 0 skipped", res.Applied, res.Skipped, len(diags))
+	}
+
+	// The fixes resolve their diagnostics: a re-lint of the rewritten
+	// tree is clean, so the second -fix run is a no-op by construction.
+	after := lintFixable(t, root)
+	for _, d := range after {
+		t.Errorf("diagnostic survived its fix: %s", d)
+	}
+	res2, err := ApplyFixes(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Applied != 0 {
+		t.Fatalf("second apply changed %d fixes; -fix must be idempotent", res2.Applied)
+	}
+
+	// Spot-check the two fix shapes: the inline unlock became a defer,
+	// and the exported surface gained stub docs.
+	data, err := os.ReadFile(filepath.Join(root, "fixable", "a.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(data)
+	for _, want := range []string{
+		"defer c.mu.Unlock()",
+		"// Package fixable TODO: document.",
+		"// Exported TODO: document.",
+		"// Counter TODO: document.",
+		"// Add TODO: document.",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("fixed source missing %q:\n%s", want, src)
+		}
+	}
+	if strings.Contains(strings.ReplaceAll(src, "defer c.mu.Unlock()", ""), "c.mu.Unlock()") {
+		t.Errorf("inline unlock should be gone after the defer conversion:\n%s", src)
+	}
+}
+
+// TestApplyFixesRejectsOverlap: two fixes editing the same bytes apply
+// first-come; the loser is skipped whole, not half-applied.
+func TestApplyFixesRejectsOverlap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.go")
+	if err := os.WriteFile(path, []byte("package f\n\nvar x = 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(start, end int, text string) Diagnostic {
+		return Diagnostic{
+			File: path, Rule: "test",
+			Fix: &Fix{Message: "edit", Edits: []Edit{{File: path, Start: start, End: end, New: text}}},
+		}
+	}
+	// Both rewrite the "1" literal (offset 19): only the first lands.
+	diags := []Diagnostic{mk(19, 20, "2"), mk(19, 20, "3")}
+	res, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Skipped != 1 {
+		t.Fatalf("applied %d, skipped %d; want 1 and 1", res.Applied, res.Skipped)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "package f\n\nvar x = 2\n"; string(data) != want {
+		t.Fatalf("got %q, want %q", data, want)
+	}
+}
+
+// TestApplyFixesRefusesUnparsableResult: a fix that would corrupt the
+// file errors out and leaves the original bytes untouched.
+func TestApplyFixesRefusesUnparsableResult(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.go")
+	orig := "package f\n\nvar x = 1\n"
+	if err := os.WriteFile(path, []byte(orig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := []Diagnostic{{
+		File: path, Rule: "test",
+		Fix: &Fix{Message: "break it", Edits: []Edit{{File: path, Start: 0, End: 9, New: "pack!!"}}},
+	}}
+	if _, err := ApplyFixes(diags); err == nil {
+		t.Fatal("ApplyFixes must refuse an edit producing unparsable source")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != orig {
+		t.Fatalf("file must be untouched after a refused fix, got %q", data)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed, and type-checked package.
@@ -35,6 +36,25 @@ type Package struct {
 	Types      *types.Package
 	Info       *types.Info
 	TypeErrors []error
+
+	// loader points back at the Loader that produced this package, so
+	// module-aware rules (lockorder) can reach the syntax of already
+	// loaded dependency packages.
+	loader *Loader
+}
+
+// Dep returns the already-loaded module-local package at the given import
+// path, or nil. Dependencies are always loaded before their importers
+// (type-checking forces them), so a package's module imports are always
+// resolvable here; nothing is loaded on demand.
+func (p *Package) Dep(path string) *Package {
+	if p.loader == nil {
+		return nil
+	}
+	if e, ok := p.loader.pkgs[path]; ok && !e.loading && e.err == nil {
+		return e.pkg
+	}
+	return nil
 }
 
 // Loader loads module-local packages from source. Standard-library
@@ -130,14 +150,26 @@ func (l *Loader) load(path string) (*Package, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
-	pkg := &Package{Path: path, Dir: dir, Module: l.ModulePath, Fset: l.fset}
-	for _, name := range names {
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+	pkg := &Package{Path: path, Dir: dir, Module: l.ModulePath, Fset: l.fset, loader: l}
+	// Files parse in parallel: token.FileSet is synchronized, and the
+	// slot-per-file layout keeps the package's file order deterministic.
+	files := make([]*ast.File, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			files[i], errs[i] = parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("analysis: %w", err)
 		}
-		pkg.Files = append(pkg.Files, f)
 	}
+	pkg.Files = files
 	pkg.Name = pkg.Files[0].Name.Name
 	pkg.Info = &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
@@ -155,6 +187,7 @@ func (l *Loader) load(path string) (*Package, error) {
 	}
 	// Check returns a usable (possibly incomplete) package even when
 	// TypeErrors is non-empty; the returned error repeats the first one.
+	//lint:ignore errcheck Check's error duplicates the first entry already collected in TypeErrors
 	pkg.Types, _ = conf.Check(path, l.fset, pkg.Files, pkg.Info)
 	return pkg, nil
 }

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 )
 
 // ruleExportedDoc keeps the public surface documented: in a non-main,
@@ -21,41 +22,67 @@ func runExportedDoc(p *Pass) {
 	if p.Pkg.Name == "main" || isInternalPath(p.Pkg.Path) {
 		return
 	}
+	// stubFix inserts a `// Name TODO: document.` stub comment directly
+	// before pos, which must sit at the start of a top-level line. The
+	// stub resolves the diagnostic mechanically (the declaration gains a
+	// doc comment) while keeping the TODO visible for a human pass — the
+	// contract is "documented surface", and an honest placeholder beats a
+	// silent gap.
+	stubFix := func(pos token.Pos, text string) *Fix {
+		return &Fix{
+			Message: "insert a stub doc comment (keep the TODO until it is written for real)",
+			Edits:   []Edit{p.editAt(pos, pos, "// "+text+"\n")},
+		}
+	}
 	hasPkgDoc := false
 	for _, f := range p.Pkg.Files {
-		if f.Doc != nil {
+		if realDoc(f.Doc) {
 			hasPkgDoc = true
 		}
 	}
 	if !hasPkgDoc && len(p.Pkg.Files) > 0 {
 		f := p.Pkg.Files[0]
-		p.Reportf(f.Name.Pos(), "package %s has no package comment", p.Pkg.Name)
+		p.ReportFix(f.Name.Pos(), stubFix(f.Package, "Package "+p.Pkg.Name+" TODO: document."),
+			"package %s has no package comment", p.Pkg.Name)
 	}
 	for _, f := range p.Pkg.Files {
 		for _, decl := range f.Decls {
 			switch d := decl.(type) {
 			case *ast.FuncDecl:
-				if d.Name.IsExported() && exportedRecv(d) && d.Doc == nil {
+				if d.Name.IsExported() && exportedRecv(d) && !realDoc(d.Doc) {
 					kind := "function"
 					if d.Recv != nil {
 						kind = "method"
 					}
-					p.Reportf(d.Pos(), "exported %s %s has no doc comment", kind, d.Name.Name)
+					p.ReportFix(d.Pos(), stubFix(d.Pos(), d.Name.Name+" TODO: document."),
+						"exported %s %s has no doc comment", kind, d.Name.Name)
 				}
 			case *ast.GenDecl:
+				// Stub insertion is only mechanical for an ungrouped decl,
+				// where the spec starts its own top-level line; specs inside
+				// a ( ... ) group report fix-less.
+				grouped := d.Lparen.IsValid()
 				for _, spec := range d.Specs {
 					switch s := spec.(type) {
 					case *ast.TypeSpec:
-						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
-							p.Reportf(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+						if s.Name.IsExported() && !realDoc(d.Doc) && !realDoc(s.Doc) {
+							var fix *Fix
+							if !grouped {
+								fix = stubFix(d.Pos(), s.Name.Name+" TODO: document.")
+							}
+							p.ReportFix(s.Pos(), fix, "exported type %s has no doc comment", s.Name.Name)
 						}
 					case *ast.ValueSpec:
-						if d.Doc != nil || s.Doc != nil {
+						if realDoc(d.Doc) || realDoc(s.Doc) {
 							continue
 						}
 						for _, name := range s.Names {
 							if name.IsExported() {
-								p.Reportf(name.Pos(), "exported %s %s has no doc comment",
+								var fix *Fix
+								if !grouped {
+									fix = stubFix(d.Pos(), name.Name+" TODO: document.")
+								}
+								p.ReportFix(name.Pos(), fix, "exported %s %s has no doc comment",
 									declKind(d), name.Name)
 								break
 							}
@@ -65,6 +92,21 @@ func runExportedDoc(p *Pass) {
 			}
 		}
 	}
+}
+
+// realDoc reports whether a comment group documents anything: a group
+// consisting only of //lint: directives is machinery, not documentation
+// (and counting it would let a suppression double as a doc comment).
+func realDoc(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if _, isDirective := directiveText(c.Text); !isDirective {
+			return true
+		}
+	}
+	return false
 }
 
 // exportedRecv reports whether a function's receiver (if any) names an

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/token"
+	"os"
 	"strings"
 )
 
@@ -22,30 +23,72 @@ type suppression struct {
 	line     int    // line the directive comment starts on
 	rule     string // rule being suppressed
 	fileWide bool   // true for a file-wide directive
+	pos, end token.Pos
+	used     bool // matched at least one raw diagnostic this run
 }
 
 // suppressionSet holds every well-formed directive of one package.
 type suppressionSet struct {
-	byFile map[string][]suppression
+	byFile map[string][]*suppression
 }
 
 // suppresses reports whether d is covered by a directive: a file-wide
 // ignore for its rule, or a line ignore on the diagnostic's own line or
 // the line directly above it (so a directive may trail the flagged
-// statement or sit on its own line immediately before it).
+// statement or sit on its own line immediately before it). Every
+// matching directive is marked used — the record the staleness scan
+// reads afterwards.
 func (s suppressionSet) suppresses(d Diagnostic) bool {
 	if d.Rule == DirectiveRule {
 		return false
 	}
+	hit := false
 	for _, sup := range s.byFile[d.File] {
 		if sup.rule != d.Rule {
 			continue
 		}
 		if sup.fileWide || sup.line == d.Line || sup.line == d.Line-1 {
-			return true
+			sup.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// stale returns a diagnostic for every directive that suppressed nothing:
+// the rule it names ran (it is in the selected set) and produced no
+// finding the directive covers, so the suppression is dead weight — and,
+// worse, camouflage for a future real finding at the same site. The
+// report carries a fix deleting the directive (the whole line when it
+// stands alone). Directives naming unselected rules are skipped: a
+// -rules filter must not condemn suppressions it never exercised.
+func (s suppressionSet) stale(pkg *Package, selected map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, sups := range s.byFile {
+		for _, sup := range sups {
+			if sup.used || !selected[sup.rule] {
+				continue
+			}
+			pos := pkg.Fset.Position(sup.pos)
+			var fix *Fix
+			if src, err := os.ReadFile(sup.file); err == nil {
+				edit := lineEditIn(pkg.Fset, sup.pos, src)
+				start := pkg.Fset.Position(sup.pos).Offset
+				// Delete the whole line only when the directive stands
+				// alone on it; a trailing directive loses just its span.
+				if strings.TrimSpace(string(src[edit.Start:start])) != "" {
+					edit = Edit{File: sup.file, Start: start, End: pkg.Fset.Position(sup.end).Offset}
+				}
+				fix = &Fix{Message: "delete the stale directive", Edits: []Edit{edit}}
+			}
+			diags = append(diags, Diagnostic{
+				Pos: pos, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Rule: DirectiveRule, Fix: fix,
+				Message: fmt.Sprintf("stale suppression: no %s finding here for this directive to suppress; delete it", sup.rule),
+			})
+		}
+	}
+	return diags
 }
 
 // collectSuppressions parses every //lint: directive in the package,
@@ -59,7 +102,7 @@ func collectSuppressions(pkg *Package) (suppressionSet, []Diagnostic) {
 	for _, r := range Rules() {
 		known[r.Name] = true
 	}
-	set := suppressionSet{byFile: map[string][]suppression{}}
+	set := suppressionSet{byFile: map[string][]*suppression{}}
 	var diags []Diagnostic
 	report := func(pos token.Position, format string, args ...any) {
 		diags = append(diags, Diagnostic{
@@ -103,8 +146,9 @@ func collectSuppressions(pkg *Package) (suppressionSet, []Diagnostic) {
 						rule, RuleNames())
 					continue
 				}
-				set.byFile[pos.Filename] = append(set.byFile[pos.Filename], suppression{
+				set.byFile[pos.Filename] = append(set.byFile[pos.Filename], &suppression{
 					file: pos.Filename, line: pos.Line, rule: rule, fileWide: fileWide,
+					pos: c.Pos(), end: c.End(),
 				})
 			}
 		}

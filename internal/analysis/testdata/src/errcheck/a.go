@@ -1,0 +1,102 @@
+// Package errcheck seeds error-consumption violations for the errcheck
+// golden test. Findings carry want annotations on the line the
+// diagnostic lands on; everything unannotated must stay clean — that is
+// how the rule's exemptions (named results, closure capture, deferred
+// consumption, short-circuit conditions) are locked in.
+package errcheck
+
+import "errors"
+
+func fallible() error { return errors.New("boom") }
+
+func pair() (int, error) { return 1, errors.New("boom") }
+
+// --- dropped result tuples ---
+
+func dropped() {
+	fallible() // want:errcheck
+}
+
+func droppedGo() {
+	go fallible() // want:errcheck
+}
+
+// --- explicit _ discards ---
+
+func discarded() {
+	_ = fallible() // want:errcheck
+}
+
+func discardedPair() int {
+	n, _ := pair() // want:errcheck
+	return n
+}
+
+// --- path sensitivity: consumed on one branch, dropped on the other ---
+
+func checkedOneBranch(flag bool) error {
+	err := fallible() // want:errcheck
+	if flag {
+		return err
+	}
+	return nil
+}
+
+// --- clean shapes ---
+
+// checkedEverywhere consumes the error on every path.
+func checkedEverywhere() error {
+	err := fallible()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// shortCircuit: both errors count as checked even though || can skip the
+// evaluation of the second test at runtime.
+func shortCircuit() error {
+	err1 := fallible()
+	err2 := fallible()
+	if err1 != nil || err2 != nil {
+		return errors.New("either")
+	}
+	return nil
+}
+
+// named result: assigning to it is consumption — returning the function
+// returns it.
+func named() (err error) {
+	err = fallible()
+	return
+}
+
+// captured: a closure capturing the error may consume it later.
+func captured() func() error {
+	err := fallible()
+	return func() error { return err }
+}
+
+// deferredConsume: defers run at every exit, so their uses consume.
+func deferredConsume(sink *error) {
+	err := fallible()
+	defer func() { *sink = err }()
+}
+
+// retry: overwriting in a loop and returning after is clean.
+func retry() error {
+	var err error
+	for i := 0; i < 3; i++ {
+		err = fallible()
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// suppressed: a deliberate discard under a directive with a reason.
+func suppressed() {
+	//lint:ignore errcheck fixture: proves line-level suppression works for this rule
+	_ = fallible()
+}

@@ -1,0 +1,16 @@
+package fixable
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Add() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func Exported() int { return 0 }

@@ -1,0 +1,89 @@
+// Package goroutineleak seeds unbounded goroutines for the goroutineleak
+// golden test, next to every accepted evidence class that must stay
+// clean: context plumbing, WaitGroup joins, ranges over channels that
+// are provably closed, and buffered-only sends.
+package goroutineleak
+
+import (
+	"context"
+	"sync"
+)
+
+// leak ranges over a channel nobody in scope ever closes: the goroutine
+// can block forever.
+func leak(ch chan int) {
+	go func() { // want:goroutineleak
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// ctxBound selects on ctx.Done: cancellable.
+func ctxBound(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// ctxArg hands the context to a named worker: the callee owns
+// cancellation.
+func ctxArg(ctx context.Context) {
+	go worker(ctx)
+}
+
+func worker(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// waitGroup joins every spawn through wg.Done/wg.Wait.
+func waitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// closedChan drains a channel the enclosing scope provably closes.
+func closedChan(items []int) {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+	for _, v := range items {
+		ch <- v
+	}
+	close(ch)
+}
+
+// buffered only sends into a channel with capacity for every send: the
+// goroutine cannot block even if the receiver gives up.
+func buffered() int {
+	res := make(chan int, 1)
+	go func() {
+		res <- 42
+	}()
+	return <-res
+}
+
+// suppressed: a deliberate fire-and-forget under a directive.
+func suppressed(ch chan int) {
+	//lint:ignore goroutineleak fixture: proves line-level suppression works for this rule
+	go func() {
+		for range ch {
+		}
+	}()
+}

@@ -1,0 +1,85 @@
+// Package lockorder seeds inconsistent lock-acquisition orders for the
+// lockorder golden test: an ABBA pair in one package, a cycle threaded
+// through a helper call, a recursive self-acquisition, and consistent
+// orders that must stay clean.
+package lockorder
+
+import "sync"
+
+type S struct {
+	a, b, c, d, e, f, g sync.Mutex
+	v                   int
+}
+
+// ab and ba acquire the same two locks in opposite orders: the classic
+// ABBA deadlock once both run concurrently. The representative edge is
+// the lexicographically first one, a→b, reported where b is acquired
+// with a held.
+func (s *S) ab() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock() // want:lockorder
+	defer s.b.Unlock()
+	s.v++
+}
+
+func (s *S) ba() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.v--
+}
+
+// outer holds c while calling lockD, which acquires d — the c→d edge
+// flows through the call graph; dc closes the cycle directly.
+func (s *S) outer() {
+	s.c.Lock()
+	defer s.c.Unlock()
+	s.lockD() // want:lockorder
+}
+
+func (s *S) lockD() {
+	s.d.Lock()
+	defer s.d.Unlock()
+	s.v++
+}
+
+func (s *S) dc() {
+	s.d.Lock()
+	defer s.d.Unlock()
+	s.c.Lock()
+	defer s.c.Unlock()
+}
+
+// relock re-acquires e through a helper while already holding it: a
+// self-deadlock (e→e), deliberately suppressed here to prove the
+// directive machinery covers this rule.
+func (s *S) relock() {
+	s.e.Lock()
+	defer s.e.Unlock()
+	//lint:ignore lockorder fixture: proves line-level suppression works for this rule
+	s.lockE()
+}
+
+func (s *S) lockE() {
+	s.e.Lock()
+	defer s.e.Unlock()
+	s.v++
+}
+
+// fg1 and fg2 agree on the f→g order: consistent, no finding.
+func (s *S) fg1() {
+	s.f.Lock()
+	defer s.f.Unlock()
+	s.g.Lock()
+	defer s.g.Unlock()
+}
+
+func (s *S) fg2() {
+	s.f.Lock()
+	defer s.f.Unlock()
+	s.g.Lock()
+	defer s.g.Unlock()
+	s.v++
+}

@@ -1,0 +1,19 @@
+// Package stale exercises the stale-suppression scan: a well-formed
+// directive whose rule ran and matched nothing is itself diagnosed
+// (under the non-suppressible "directive" pseudo-rule) and carries a fix
+// deleting it.
+package stale
+
+// eq carries a live suppression: the comparison below is a real
+// floatcompare finding the directive covers.
+func eq(a, b float64) bool {
+	//lint:ignore floatcompare fixture: exact comparison is the point of this helper
+	return a == b
+}
+
+// plain compares ints — floatcompare has nothing to say, so the
+// directive below suppresses nothing and is reported as stale.
+func plain(a, b int) bool {
+	//lint:ignore floatcompare fixture: stale, ints compare exactly — // want:directive
+	return a == b
+}

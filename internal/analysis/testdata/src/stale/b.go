@@ -1,0 +1,7 @@
+//lint:file-ignore floatcompare fixture: stale, no float comparison in this file — // want:directive
+
+// Package comment lives in a.go; this file holds a stale file-wide
+// directive: the rule it names finds nothing anywhere in the file.
+package stale
+
+func add(a, b int) int { return a + b }

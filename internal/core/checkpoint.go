@@ -153,6 +153,7 @@ func SaveCheckpointFile(path string, c *Checkpoint) error {
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if err := c.Save(tmp); err != nil {
+		//lint:ignore errcheck the save error takes precedence over the cleanup close
 		tmp.Close()
 		return err
 	}

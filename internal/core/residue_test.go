@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+)
+
+// TestMain guards the package directory against test residue. An earlier
+// comparison harness once left a stray tmpcmp/ directory behind in this
+// package; every test now writes exclusively under t.TempDir(), and this
+// guard keeps it that way: it snapshots the package directory entries
+// before the run and fails loudly if any file or directory appears (or
+// disappears) after `go test ./internal/core`.
+func TestMain(m *testing.M) {
+	before, err := dirEntries(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "residue guard: %v\n", err)
+		os.Exit(2)
+	}
+	code := m.Run()
+	after, err := dirEntries(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "residue guard: %v\n", err)
+		os.Exit(2)
+	}
+	if diff := entryDiff(before, after); diff != "" {
+		fmt.Fprintf(os.Stderr, "residue guard: package directory changed during tests:\n%s", diff)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// dirEntries returns the sorted names of dir's entries, with directories
+// suffixed "/" so a file↔directory swap also shows up.
+func dirEntries(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() {
+			name += "/"
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// entryDiff renders the additions and removals between two sorted entry
+// lists, one "+name" or "-name" per line; empty means identical.
+func entryDiff(before, after []string) string {
+	in := func(set []string, name string) bool {
+		i := sort.SearchStrings(set, name)
+		return i < len(set) && set[i] == name
+	}
+	var out string
+	for _, name := range after {
+		if !in(before, name) {
+			out += "  +" + name + "\n"
+		}
+	}
+	for _, name := range before {
+		if !in(after, name) {
+			out += "  -" + name + "\n"
+		}
+	}
+	return out
+}

@@ -180,6 +180,7 @@ func (e *Engine) searchShard(bi, si int, q Query, k int) (rs []Result, err error
 // partial answer, tagged by the returned Status. A panicking shard
 // degrades the answer instead of crashing the process.
 func (e *Engine) SearchCtx(ctx context.Context, q Query, k int) ([]Result, Status) {
+	//lint:ignore errcheck the default backend name is registered at construction; the config error is impossible
 	rs, st, _ := e.SearchWithCtx(ctx, e.names[0], q, k)
 	return rs, st
 }
@@ -253,6 +254,7 @@ func (e *Engine) searchShardsSeqCtx(ctx context.Context, bi int, q Query, k int)
 // the context expired first carry an incomplete Status with the context
 // error.
 func (e *Engine) SearchBatchCtx(ctx context.Context, qs []Query, k int) ([][]Result, []Status) {
+	//lint:ignore errcheck the default backend name is registered at construction; the config error is impossible
 	rs, sts, _ := e.SearchBatchWithCtx(ctx, e.names[0], qs, k)
 	return rs, sts
 }

@@ -26,10 +26,26 @@ if [ -n "$unformatted" ]; then
 fi
 
 echo "== trajlint ./..."
-go run ./cmd/trajlint ./... || {
-	echo "trajlint: a correctness contract is violated — each rule is documented in DESIGN.md 'Static analysis & invariants', including how to suppress deliberate sites with //lint:ignore <rule> <reason>"
+# Build the linter once into bin/ (gitignored) and reuse the binary for
+# both passes; the content-hash cache makes the second pass a replay.
+mkdir -p bin
+go build -o bin/trajlint ./cmd/trajlint
+lint_status=0
+./bin/trajlint -cache bin/trajlint-cache ./... || lint_status=$?
+# Machine-readable findings artifact for CI consumers (empty array when
+# clean). Best-effort: a findings exit (1) is expected here.
+./bin/trajlint -json -cache bin/trajlint-cache ./... >bin/trajlint-findings.json || true
+case "$lint_status" in
+0) ;;
+1)
+	echo "trajlint: findings — a correctness contract is violated. Each rule is documented in DESIGN.md 'Static analysis & invariants', including how to suppress deliberate sites with //lint:ignore <rule> <reason>. Run ./bin/trajlint -fix ./... for the mechanical ones; JSON artifact at bin/trajlint-findings.json"
 	exit 1
-}
+	;;
+*)
+	echo "trajlint: the linter itself failed (exit $lint_status) — this is a tooling/invocation error, not a finding; see the message above"
+	exit "$lint_status"
+	;;
+esac
 
 echo "== go vet ./..."
 go vet ./... || {
