@@ -1,0 +1,135 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"traj2hash/internal/obs"
+)
+
+// debugAddr normalizes a -debug-addr value to a loopback-by-default
+// listen address: ":6060" and "6060" become "127.0.0.1:6060". The debug
+// surface (metrics, traces, pprof) is operational introspection, not a
+// public API — exposing it beyond the local host requires spelling out
+// an explicit host, which keeps the accidental-exposure failure mode
+// opt-in.
+func debugAddr(addr string) string {
+	if !strings.Contains(addr, ":") {
+		return "127.0.0.1:" + addr
+	}
+	if strings.HasPrefix(addr, ":") {
+		return "127.0.0.1" + addr
+	}
+	return addr
+}
+
+// publishExpvarOnce guards the process-global expvar registration
+// (expvar.Publish panics on duplicate names; tests may start several
+// debug servers in one process).
+var publishExpvarOnce sync.Once
+
+// startDebugServer binds a localhost-by-default HTTP listener serving
+// the operational debug surface over the given registry:
+//
+//	/metrics       the registry's JSON snapshot (counters, gauges, histograms)
+//	/trace         the span ring buffer, oldest first
+//	/debug/pprof/  the standard pprof handlers (profile, heap, trace, ...)
+//	/debug/vars    expvar, including the registry under "traj2hash.metrics"
+//
+// The server's lifetime is bound to ctx: when the command context is
+// canceled (Ctrl-C) the listener closes and both goroutines exit. The
+// bound address is returned so callers can log it.
+func startDebugServer(ctx context.Context, addr string, reg *obs.Registry) (string, error) {
+	ln, err := net.Listen("tcp", debugAddr(addr))
+	if err != nil {
+		return "", fmt.Errorf("debug server: %w", err)
+	}
+	publishExpvarOnce.Do(func() {
+		expvar.Publish("traj2hash.metrics", reg.Expvar())
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			return // client went away mid-write; nothing useful to do
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.Tracer().WriteJSON(w); err != nil {
+			return
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// Lifetime bound to the command context: cancellation closes the
+		// server, which unblocks the Serve goroutine below.
+		<-ctx.Done()
+		//lint:ignore errcheck shutdown on a canceled context is best-effort; the process is exiting
+		srv.Close()
+	}()
+	go func() {
+		err := srv.Serve(ln)
+		// Serve always returns non-nil; ErrServerClosed (and any error
+		// after ctx was canceled) is the orderly ctx-bound shutdown.
+		if err != nil && !errors.Is(err, http.ErrServerClosed) && ctx.Err() == nil {
+			fmt.Fprintln(os.Stderr, "traj2hash: debug server:", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// printStats writes a human-oriented summary of the registry to stdout:
+// counters and gauges by name, histograms as count/mean. It is the
+// -stats epilogue of train and search.
+func printStats(reg *obs.Registry) {
+	s := reg.Snapshot()
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Println("-- stats --")
+	for _, n := range names {
+		fmt.Printf("%-40s %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%-40s %g\n", n, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		mean := 0.0
+		if h.Count > 0 {
+			mean = h.Sum / float64(h.Count)
+		}
+		fmt.Printf("%-40s n=%d mean=%g\n", n, h.Count, mean)
+	}
+}

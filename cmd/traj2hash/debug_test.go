@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"traj2hash/internal/obs"
+)
+
+func TestDebugAddrNormalizesToLoopback(t *testing.T) {
+	cases := map[string]string{
+		":6060":          "127.0.0.1:6060",
+		"6060":           "127.0.0.1:6060",
+		"127.0.0.1:7070": "127.0.0.1:7070",
+		"0.0.0.0:6060":   "0.0.0.0:6060", // explicit host: the operator asked for exposure
+	}
+	for in, want := range cases {
+		if got := debugAddr(in); got != want {
+			t.Errorf("debugAddr(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// get fetches a URL with a short deadline and returns body and status.
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	c := &http.Client{Timeout: 2 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestDebugServerServesMetricsTraceAndPprof starts the server on an
+// ephemeral loopback port, exercises every endpoint, and verifies that
+// canceling the context closes the listener (the goroutine-leak
+// contract of startDebugServer).
+func TestDebugServerServesMetricsTraceAndPprof(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("cli.test.hits").Add(3)
+	sp := reg.Tracer().Start("cli.test.span", 0)
+	sp.End()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, err := startDebugServer(ctx, "127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(addr, "127.0.0.1:") {
+		t.Fatalf("bound %q, want a loopback address", addr)
+	}
+	base := "http://" + addr
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics is not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["cli.test.hits"] != 3 {
+		t.Errorf("/metrics counters = %v, want cli.test.hits=3", snap.Counters)
+	}
+
+	code, body = get(t, base+"/trace")
+	if code != http.StatusOK || !strings.Contains(body, "cli.test.span") {
+		t.Errorf("/trace status %d body %q, want the recorded span", code, body)
+	}
+
+	if code, _ = get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "traj2hash.metrics") {
+		t.Errorf("/debug/vars status %d, want the published registry", code)
+	}
+
+	// Cancellation must close the listener: new connections are refused.
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 100*time.Millisecond)
+		if err != nil {
+			break // closed — the ctx-bound shutdown ran
+		}
+		if err := conn.Close(); err != nil {
+			t.Logf("closing probe conn: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("debug server still accepting connections after ctx cancel")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

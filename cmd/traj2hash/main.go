@@ -25,6 +25,7 @@ import (
 	"traj2hash/internal/dist"
 	"traj2hash/internal/experiments"
 	"traj2hash/internal/geo"
+	"traj2hash/internal/obs"
 )
 
 func main() {
@@ -209,11 +210,25 @@ func cmdTrain(ctx context.Context, args []string) error {
 		"write a resumable checkpoint every N epochs (0 = only on interrupt)")
 	ckptPath := fs.String("checkpoint", "", "checkpoint path (default <out>.ckpt)")
 	resume := fs.String("resume", "", "resume training from this checkpoint file")
+	debugAddrFlag := fs.String("debug-addr", "",
+		"serve /metrics, /trace and pprof on this address while training (e.g. :6060; binds 127.0.0.1 unless a host is given; default off)")
+	stats := fs.Bool("stats", false, "print a metrics summary when training finishes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *ckptPath == "" {
 		*ckptPath = *out + ".ckpt"
+	}
+	// The CLI records into the process-global registry — the same one the
+	// checkpoint-persistence counters land on, so /metrics and -stats see
+	// the whole picture.
+	reg := obs.Default()
+	if *debugAddrFlag != "" {
+		bound, err := startDebugServer(ctx, *debugAddrFlag, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("debug server on http://%s (metrics, trace, pprof)\n", bound)
 	}
 
 	ds, err := data.Load(*in)
@@ -236,6 +251,7 @@ func cmdTrain(ctx context.Context, args []string) error {
 	wroteCkpt := false
 	td := core.TrainData{
 		Seeds: ds.Seeds, Validation: ds.Validation, Corpus: ds.Corpus, F: f,
+		Metrics:         reg,
 		CheckpointEvery: *ckptEvery,
 		// The sink serves both cadenced checkpoints and the interrupt
 		// flush, so a Ctrl-C always leaves a resumable file behind (as long
@@ -273,6 +289,9 @@ func cmdTrain(ctx context.Context, args []string) error {
 	if len(h.Diverged) > 0 {
 		fmt.Printf("divergence guard tripped at epoch(s) %v; rolled back and replayed at reduced LR\n", h.Diverged)
 	}
+	if *stats {
+		printStats(reg)
+	}
 	return nil
 }
 
@@ -288,8 +307,19 @@ func cmdSearch(ctx context.Context, args []string) error {
 	shards := fs.Int("shards", 1, "database shards (queries fan out across shards in parallel)")
 	timeout := fs.Duration("timeout", 0,
 		"overall search deadline; on expiry partial results are printed and flagged (0 = none)")
+	debugAddrFlag := fs.String("debug-addr", "",
+		"serve /metrics, /trace and pprof on this address while searching (e.g. :6060; binds 127.0.0.1 unless a host is given; default off)")
+	stats := fs.Bool("stats", false, "print a metrics summary after the queries")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	reg := obs.Default()
+	if *debugAddrFlag != "" {
+		bound, err := startDebugServer(ctx, *debugAddrFlag, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("debug server on http://%s (metrics, trace, pprof)\n", bound)
 	}
 
 	m, err := core.LoadFile(*modelPath)
@@ -312,6 +342,7 @@ func cmdSearch(ctx context.Context, args []string) error {
 		Backend: *strategy,
 		Shards:  *shards,
 		Workers: *workers,
+		Metrics: reg,
 	})
 	if err != nil {
 		return err
@@ -352,6 +383,9 @@ func cmdSearch(ctx context.Context, args []string) error {
 		// query count when the index is sharded.
 		fmt.Printf("hybrid fast-path hits: %d (%d queries x %d shards)\n",
 			idx.HybridFastPaths(), len(queries), *shards)
+	}
+	if *stats {
+		printStats(reg)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"traj2hash/internal/engine"
 	"traj2hash/internal/hamming"
+	"traj2hash/internal/obs"
 )
 
 // Status reports how completely a context-aware query was answered — the
@@ -62,6 +63,13 @@ type Options struct {
 	MIHChunks int
 	// VPTreeSeed seeds vantage-point sampling of the VPTree backend.
 	VPTreeSeed int64
+	// Metrics, when non-nil, is the observability registry the index's
+	// query engine records into (search counters, per-shard latency
+	// histograms, spans — see DESIGN.md "Observability"). nil leaves the
+	// engine entirely uninstrumented; Stats then reports an empty
+	// snapshot. Several indexes may share one registry (counters
+	// accumulate), including DefaultMetricsRegistry().
+	Metrics *MetricsRegistry
 }
 
 // Index is a searchable trajectory database: it stores each trajectory's
@@ -108,6 +116,7 @@ func NewIndexWith(m *Model, ts []Trajectory, opts Options) (*Index, error) {
 		Backends: []string{backend, BackendEuclideanBF, BackendHammingBF, BackendHammingHybrid},
 		Shards:   opts.Shards,
 		Workers:  opts.Workers,
+		Metrics:  opts.Metrics,
 		Config: engine.Config{
 			Bits:      m.Cfg.HashBits,
 			MIHChunks: opts.MIHChunks,
@@ -311,6 +320,22 @@ func (ix *Index) SearchHybridByCode(qc Code, k int) []Result {
 // HybridFastPaths reports how many hybrid searches (across all shards)
 // were answered via table lookup rather than the brute-force fallback.
 func (ix *Index) HybridFastPaths() int64 { return ix.eng.FastPathCount() }
+
+// Stats returns a point-in-time snapshot of the index's observability
+// registry (Options.Metrics): search counters, degraded-result and
+// panic-recovery counts, and the latency/candidate histograms. With no
+// registry configured the snapshot is empty (zero-valued maps), so
+// callers can always range over it without nil checks.
+func (ix *Index) Stats() MetricsSnapshot {
+	if ix.opts.Metrics == nil {
+		return MetricsSnapshot{
+			Counters:   map[string]int64{},
+			Gauges:     map[string]float64{},
+			Histograms: map[string]obs.HistogramSnapshot{},
+		}
+	}
+	return ix.opts.Metrics.Snapshot()
+}
 
 // Within returns the ids of indexed trajectories whose hash codes lie
 // within the given Hamming radius (0–2) of the query's code — the bucket

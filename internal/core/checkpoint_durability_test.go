@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// validCheckpoint trains the tiny fixture for one checkpointed epoch and
+// returns the emitted snapshot — the cheapest way to obtain a Checkpoint
+// whose shapes, params, and optimizer state are all mutually consistent.
+func validCheckpoint(t *testing.T) *Checkpoint {
+	t.Helper()
+	cfg, space, td := trainFixture(t)
+	m, err := New(cfg, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *Checkpoint
+	td.CheckpointEvery = 1
+	td.OnCheckpoint = func(c *Checkpoint) error { last = c; return nil }
+	if _, err := m.Train(td); err != nil {
+		t.Fatal(err)
+	}
+	if last == nil {
+		t.Fatal("no checkpoint emitted")
+	}
+	return last
+}
+
+// listNames returns the base names of every entry in dir.
+func listNames(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names
+}
+
+// TestSaveCheckpointFileErrorLeavesDestinationIntact is the durability
+// regression test: when Checkpoint.Save fails mid-write, the error must
+// propagate, the previously published checkpoint at path must survive
+// byte-for-byte, and no orphaned temp file may remain — the guarantee a
+// crash-resumable trainer depends on. Write/failure outcomes must land on
+// the obs.Default counters.
+func TestSaveCheckpointFileErrorLeavesDestinationIntact(t *testing.T) {
+	good := validCheckpoint(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+
+	writesBefore := checkpointWrites.Value()
+	failsBefore := checkpointWriteFailers.Value()
+
+	// Publish a good checkpoint first; capture the exact bytes on disk.
+	if err := SaveCheckpointFile(path, good); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := checkpointWrites.Value() - writesBefore; got != 1 {
+		t.Fatalf("core.checkpoint.writes delta = %d, want 1", got)
+	}
+
+	// A corrupted checkpoint whose parameter groups no longer match its
+	// shape table makes Save fail after the meta header is already on the
+	// wire — a genuinely torn stream if it ever reached path.
+	bad := *good
+	bad.Params = bad.Params[:len(bad.Params)-1]
+	saveErr := SaveCheckpointFile(path, &bad)
+	if saveErr == nil {
+		t.Fatal("SaveCheckpointFile accepted a checkpoint whose Save must fail")
+	}
+	if !strings.Contains(saveErr.Error(), "tensors") {
+		t.Fatalf("unexpected error: %v", saveErr)
+	}
+	if got := checkpointWriteFailers.Value() - failsBefore; got != 1 {
+		t.Fatalf("core.checkpoint.write_failures delta = %d, want 1", got)
+	}
+
+	// The failed write must not have touched the published file...
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, after) {
+		t.Fatal("failed save modified the previously published checkpoint")
+	}
+	// ...and must not leak its temp file.
+	if names := listNames(t, dir); len(names) != 1 || names[0] != "run.ckpt" {
+		t.Fatalf("directory holds %v, want only run.ckpt", names)
+	}
+
+	// The survivor still loads to the original snapshot.
+	got, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(good, got) {
+		t.Fatal("surviving checkpoint no longer round-trips")
+	}
+}
+
+// TestSaveCheckpointFileNeverPartiallyWritten covers the fresh-path case:
+// a failed first save must leave NO file at the destination at all (an
+// empty or truncated file would later be mistaken for a checkpoint and
+// fail resume loudly at the wrong time).
+func TestSaveCheckpointFileNeverPartiallyWritten(t *testing.T) {
+	good := validCheckpoint(t)
+	bad := *good
+	bad.AdamM = nil // group length 0 != len(Shapes)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh.ckpt")
+	if err := SaveCheckpointFile(path, &bad); err == nil {
+		t.Fatal("want an error from a malformed checkpoint")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("destination exists after a failed first save (stat err %v)", err)
+	}
+	if names := listNames(t, dir); len(names) != 0 {
+		t.Fatalf("directory holds %v, want empty", names)
+	}
+}
+
+// TestSyncDirToleratesUnsupported: syncDir must succeed on a real
+// directory and report a hard error for a nonexistent one.
+func TestSyncDirToleratesUnsupported(t *testing.T) {
+	if err := syncDir(t.TempDir()); err != nil {
+		t.Fatalf("syncDir on a real tmpdir: %v", err)
+	}
+	if err := syncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("syncDir on a missing directory should fail")
+	}
+}

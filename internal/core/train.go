@@ -12,6 +12,7 @@ import (
 	"traj2hash/internal/eval"
 	"traj2hash/internal/geo"
 	"traj2hash/internal/nn"
+	"traj2hash/internal/obs"
 )
 
 // ErrDiverged is returned (wrapped) by Train/TrainCtx when an epoch
@@ -54,6 +55,12 @@ type TrainData struct {
 	// instrumentation (internal/faultinject's gradient poisoning) and
 	// must not be used to mutate training state in production.
 	StepHook func(epoch, step int)
+	// Metrics, when non-nil, receives training telemetry: per-epoch loss
+	// and validation gauges, a gradient-norm histogram, and rollback /
+	// checkpoint-emit counters (see DESIGN.md "Observability" for the
+	// metric names). nil disables instrumentation entirely — not even
+	// the gradient norm is computed for it.
+	Metrics *obs.Registry
 }
 
 // History records one training run.
@@ -69,6 +76,34 @@ type History struct {
 	// replayed at half the learning rate. Divergence is flagged here
 	// explicitly rather than leaking silently into ValHR10 as NaN.
 	Diverged []int
+}
+
+// trainMetrics bundles the instruments TrainCtx updates. A nil
+// *trainMetrics (TrainData.Metrics unset) makes every record call a
+// no-op via obs's nil-receiver contract, so the uninstrumented path pays
+// only a pointer check.
+type trainMetrics struct {
+	epoch           *obs.Gauge     // train.epoch: last completed epoch number
+	epochLoss       *obs.Gauge     // train.epoch.loss: mean loss of the last completed epoch
+	valHR10         *obs.Gauge     // train.val.hr10: validation HR@10 of the last completed epoch
+	gradNorm        *obs.Histogram // train.grad_norm: pre-clip gradient L2 norm per step
+	rollbacks       *obs.Counter   // train.rollbacks: divergence-guard rollbacks taken
+	checkpointEmits *obs.Counter   // train.checkpoint.emits: checkpoints handed to OnCheckpoint
+}
+
+// newTrainMetrics registers the training instruments on reg; nil in, nil out.
+func newTrainMetrics(reg *obs.Registry) *trainMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &trainMetrics{
+		epoch:           reg.Gauge("train.epoch"),
+		epochLoss:       reg.Gauge("train.epoch.loss"),
+		valHR10:         reg.Gauge("train.val.hr10"),
+		gradNorm:        reg.Histogram("train.grad_norm", obs.MagnitudeBounds()),
+		rollbacks:       reg.Counter("train.rollbacks"),
+		checkpointEmits: reg.Counter("train.checkpoint.emits"),
+	}
 }
 
 // RankingHinge builds the ranking-based hashing objective term of
@@ -185,6 +220,7 @@ func (m *Model) TrainCtx(ctx context.Context, td TrainData) (*History, error) {
 	}
 	cfg := m.Cfg
 	h := &History{}
+	met := newTrainMetrics(td.Metrics)
 
 	// Exact supervision over the labelled set (Section IV-A): seeds first,
 	// then validation, one symmetric matrix so validation ground truth
@@ -263,6 +299,9 @@ func (m *Model) TrainCtx(ctx context.Context, td TrainData) (*History, error) {
 			if err := td.OnCheckpoint(lastGood); err != nil {
 				return h, fmt.Errorf("core: checkpoint on interrupt: %w", err)
 			}
+			if met != nil {
+				met.checkpointEmits.Inc()
+			}
 		}
 		return h, fmt.Errorf("core: training interrupted in epoch %d: %w", epoch, context.Cause(ctx))
 	}
@@ -289,7 +328,16 @@ func (m *Model) TrainCtx(ctx context.Context, td TrainData) (*History, error) {
 			steps++
 			loss.Backward()
 			if cfg.ClipNorm > 0 {
-				nn.ClipGradNorm(opt.Params, cfg.ClipNorm)
+				norm := nn.ClipGradNorm(opt.Params, cfg.ClipNorm)
+				if met != nil {
+					met.gradNorm.Observe(norm)
+				}
+			} else if met != nil {
+				// ClipGradNorm with an infinite bound computes the pre-clip
+				// norm without scaling anything — the instrumented path gets
+				// the histogram even when clipping is off, the
+				// uninstrumented path never pays for the norm.
+				met.gradNorm.Observe(nn.ClipGradNorm(opt.Params, math.Inf(1)))
 			}
 			opt.Step()
 			if td.StepHook != nil {
@@ -350,6 +398,9 @@ func (m *Model) TrainCtx(ctx context.Context, td TrainData) (*History, error) {
 					epoch, rollbacks, maxRollbacks, ErrDiverged)
 			}
 			rollbacks++
+			if met != nil {
+				met.rollbacks.Inc()
+			}
 			lr *= 0.5
 			bs, hrz, err := m.restoreCheckpoint(lastGood, opt)
 			if err != nil {
@@ -364,6 +415,13 @@ func (m *Model) TrainCtx(ctx context.Context, td TrainData) (*History, error) {
 
 		h.EpochLoss = append(h.EpochLoss, meanLoss)
 		h.ValHR10 = append(h.ValHR10, hr)
+		if met != nil {
+			met.epoch.Set(float64(epoch + 1))
+			met.epochLoss.Set(meanLoss)
+			if hasVal {
+				met.valHR10.Set(hr)
+			}
+		}
 		if hr > h.BestHR10 {
 			h.BestHR10 = hr
 			h.BestEpoch = epoch
@@ -378,6 +436,9 @@ func (m *Model) TrainCtx(ctx context.Context, td TrainData) (*History, error) {
 		if td.CheckpointEvery > 0 && td.OnCheckpoint != nil && (epoch+1)%td.CheckpointEvery == 0 {
 			if err := td.OnCheckpoint(lastGood); err != nil {
 				return h, fmt.Errorf("core: checkpoint at epoch %d: %w", epoch+1, err)
+			}
+			if met != nil {
+				met.checkpointEmits.Inc()
 			}
 		}
 	}

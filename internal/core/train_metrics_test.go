@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"traj2hash/internal/faultinject"
+	"traj2hash/internal/obs"
+)
+
+// TestTrainMetricsRecorded: an instrumented run must land the epoch /
+// loss / HR@10 gauges, a gradient-norm histogram with one observation
+// per optimizer step, and the checkpoint-emit counter — while staying
+// bitwise identical to the uninstrumented run (observability must not
+// perturb training).
+func TestTrainMetricsRecorded(t *testing.T) {
+	cfg, space, td := trainFixture(t)
+
+	// Uninstrumented reference.
+	mRef, err := New(cfg, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mRef.Train(td); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.New()
+	m, err := New(cfg, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps int
+	tdi := td
+	tdi.Metrics = reg
+	tdi.CheckpointEvery = 2
+	tdi.OnCheckpoint = func(*Checkpoint) error { return nil }
+	tdi.StepHook = func(epoch, step int) { steps++ }
+	h, err := m.Train(tdi)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(paramBits(mRef), paramBits(m)) {
+		t.Error("instrumented training diverged bitwise from the uninstrumented run")
+	}
+
+	s := reg.Snapshot()
+	if got := s.Gauges["train.epoch"]; int(got) != cfg.Epochs {
+		t.Errorf("train.epoch = %v, want %d", got, cfg.Epochs)
+	}
+	wantLoss := h.EpochLoss[len(h.EpochLoss)-1]
+	if got := s.Gauges["train.epoch.loss"]; math.Float64bits(got) != math.Float64bits(wantLoss) {
+		t.Errorf("train.epoch.loss = %v, want %v", got, wantLoss)
+	}
+	wantHR := h.ValHR10[len(h.ValHR10)-1]
+	if got := s.Gauges["train.val.hr10"]; math.Float64bits(got) != math.Float64bits(wantHR) {
+		t.Errorf("train.val.hr10 = %v, want %v", got, wantHR)
+	}
+	gn, ok := s.Histograms["train.grad_norm"]
+	if !ok || gn.Count != int64(steps) {
+		t.Errorf("train.grad_norm count = %d (present %v), want %d", gn.Count, ok, steps)
+	}
+	if got := s.Counters["train.checkpoint.emits"]; got != int64(cfg.Epochs/2) {
+		t.Errorf("train.checkpoint.emits = %d, want %d", got, cfg.Epochs/2)
+	}
+	if got := s.Counters["train.rollbacks"]; got != 0 {
+		t.Errorf("train.rollbacks = %d, want 0", got)
+	}
+}
+
+// TestTrainMetricsCountRollbacks: a poisoned epoch that trips the
+// divergence guard must surface as a train.rollbacks increment.
+func TestTrainMetricsCountRollbacks(t *testing.T) {
+	cfg, space, td := trainFixture(t)
+	m, err := New(cfg, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	td.Metrics = reg
+	p := faultinject.NewGradPoisoner(faultinject.Site{Epoch: 2, Step: 0})
+	td.StepHook = func(epoch, step int) { p.MaybePoison(epoch, step, m.Params()) }
+	if _, err := m.Train(td); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counters["train.rollbacks"]; got != 1 {
+		t.Errorf("train.rollbacks = %d, want 1", got)
+	}
+}

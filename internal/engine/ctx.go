@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"traj2hash/internal/hamming"
+	"traj2hash/internal/obs"
 )
 
 // Status reports how completely a fan-out query was answered. The
@@ -157,11 +159,28 @@ func fanOut[T any](ctx context.Context, n, workers int, fn func(i int) (T, error
 // converted into an error carrying the attributed panic value, with the
 // shard's read lock released on the way out (defer keeps the lock
 // discipline panic-safe).
+//
+// Timing note: the shard latency histogram is observed HERE, inside the
+// fan-out worker, not around the merge at the collection site — so a
+// slow shard is attributable to its own engine.shard.seconds.<backend>.<i>
+// series even when the fan-out as a whole is bounded by a deadline. The
+// panicking path is timed too (the time burned before the panic is real
+// latency), and recoveries count into engine.shard.panics.
 func (e *Engine) searchShard(bi, si int, q Query, k int) (rs []Result, err error) {
 	sh := e.shards[si]
+	var start time.Time
+	if e.met != nil {
+		start = time.Now()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			rs, err = nil, fmt.Errorf("engine: shard %d backend panic: %v", si, r)
+			if e.met != nil {
+				e.met.panics.Inc()
+			}
+		}
+		if e.met != nil {
+			e.met.shardLat[bi][si].Observe(time.Since(start).Seconds())
 		}
 	}()
 	sh.mu.RLock()
@@ -206,6 +225,10 @@ func (e *Engine) searchShardsCtx(ctx context.Context, bi int, q Query, k int) ([
 		// is needed, so the empty answer is complete.
 		return nil, Status{Complete: true}
 	}
+	var span *obs.ActiveSpan
+	if e.met != nil {
+		span = e.met.tracer.Start(e.met.spanNames[bi], 0)
+	}
 	n := len(e.shards)
 	per, done, errs := fanOut(ctx, n, e.opts.Workers, func(si int) ([]Result, error) {
 		return e.searchShard(bi, si, q, k)
@@ -216,7 +239,24 @@ func (e *Engine) searchShardsCtx(ctx context.Context, bi int, q Query, k int) ([
 			ok++
 		}
 	}
-	return mergeTopK(per, k), statusFor(ctx, n, ok, len(errs), errs)
+	rs := e.merge(per, k)
+	st := statusFor(ctx, n, ok, len(errs), errs)
+	e.finishQuery(st, span)
+	return rs, st
+}
+
+// finishQuery records the per-query accounting shared by every search
+// path: the total query count, the degraded count when the status is
+// incomplete, and the query span (when tracing is live).
+func (e *Engine) finishQuery(st Status, span *obs.ActiveSpan) {
+	if e.met == nil {
+		return
+	}
+	e.met.searches.Inc()
+	if !st.Complete {
+		e.met.degraded.Inc()
+	}
+	span.End()
 }
 
 // searchShardsSeqCtx is searchShardsCtx without the per-shard goroutine
@@ -226,6 +266,10 @@ func (e *Engine) searchShardsCtx(ctx context.Context, bi int, q Query, k int) ([
 func (e *Engine) searchShardsSeqCtx(ctx context.Context, bi int, q Query, k int) ([]Result, Status) {
 	if k <= 0 {
 		return nil, Status{Complete: true}
+	}
+	var span *obs.ActiveSpan
+	if e.met != nil {
+		span = e.met.tracer.Start(e.met.spanNames[bi], 0)
 	}
 	n := len(e.shards)
 	per := make([][]Result, n)
@@ -245,7 +289,10 @@ func (e *Engine) searchShardsSeqCtx(ctx context.Context, bi int, q Query, k int)
 		per[si] = rs
 		ok++
 	}
-	return mergeTopK(per, k), statusFor(ctx, n, ok, failed, errs)
+	out := e.merge(per, k)
+	st := statusFor(ctx, n, ok, failed, errs)
+	e.finishQuery(st, span)
+	return out, st
 }
 
 // SearchBatchCtx answers many queries with the default backend under
@@ -283,6 +330,10 @@ func (e *Engine) SearchBatchWithCtx(ctx context.Context, name string, qs []Query
 			sts[i] = vals[i].st
 		} else {
 			sts[i] = statusFor(ctx, len(e.shards), 0, 0, nil)
+			// Queries that never ran still count: they were asked and
+			// answered (with nothing), which is exactly what the degraded
+			// counter exists to surface.
+			e.finishQuery(sts[i], nil)
 		}
 	}
 	return out, sts, nil
@@ -304,6 +355,10 @@ func (e *Engine) WithinCtx(ctx context.Context, code hamming.Code, radius int) (
 	if bi < 0 {
 		return nil, Status{}, fmt.Errorf("engine: no radius-lookup backend (add %q)", HammingHybridName)
 	}
+	var span *obs.ActiveSpan
+	if e.met != nil {
+		span = e.met.tracer.Start("engine.within", 0)
+	}
 	n := len(e.shards)
 	per, done, errs := fanOut(ctx, n, e.opts.Workers, func(si int) ([]int, error) {
 		return e.withinShard(bi, si, code, radius)
@@ -317,7 +372,9 @@ func (e *Engine) WithinCtx(ctx context.Context, code hamming.Code, radius int) (
 		}
 	}
 	sort.Ints(all)
-	return all, statusFor(ctx, n, ok, len(errs), errs), nil
+	st := statusFor(ctx, n, ok, len(errs), errs)
+	e.finishQuery(st, span)
+	return all, st, nil
 }
 
 // withinShard is the panic-isolated per-shard radius lookup.
@@ -326,6 +383,9 @@ func (e *Engine) withinShard(bi, si int, code hamming.Code, radius int) (ids []i
 	defer func() {
 		if r := recover(); r != nil {
 			ids, err = nil, fmt.Errorf("engine: shard %d backend panic: %v", si, r)
+			if e.met != nil {
+				e.met.panics.Inc()
+			}
 		}
 	}()
 	sh.mu.RLock()

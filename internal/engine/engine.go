@@ -6,8 +6,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"traj2hash/internal/hamming"
+	"traj2hash/internal/obs"
 )
 
 // Options configures an Engine.
@@ -23,6 +25,14 @@ type Options struct {
 	// Workers bounds the engine's parallelism: the per-query shard
 	// fan-out and the SearchBatch query fan-out (default GOMAXPROCS).
 	Workers int
+	// Metrics, when non-nil, receives the engine's runtime metrics and
+	// spans (per-backend/per-shard search latency, merge latency,
+	// candidate counts, shard panic recoveries, degraded answers — see
+	// DESIGN.md "Observability" for the name table). Nil disables
+	// instrumentation entirely: the engine takes the no-op path with no
+	// timestamps and no atomic updates, the baseline of the overhead
+	// benchmarks.
+	Metrics *obs.Registry
 	// Config carries backend construction parameters.
 	Config Config
 }
@@ -60,11 +70,52 @@ type shard struct {
 type Engine struct {
 	opts  Options
 	names []string // canonical backend names, parallel to shard.backends
+	met   *metrics // nil when Options.Metrics is nil (uninstrumented)
 
 	addMu sync.Mutex
 	next  int // next global id, guarded by addMu
 
 	shards []*shard
+}
+
+// metrics caches the engine's instruments, resolved once at construction
+// so the hot path never takes the registry lock. All instrument methods
+// are nil-safe, but a nil *metrics short-circuits even the time.Now calls
+// — that is the documented "no-op registry" baseline.
+type metrics struct {
+	searches   *obs.Counter       // engine.search.total
+	degraded   *obs.Counter       // search.degraded
+	panics     *obs.Counter       // engine.shard.panics
+	candidates *obs.Histogram     // engine.search.candidates
+	mergeLat   *obs.Histogram     // engine.merge.seconds
+	shardLat   [][]*obs.Histogram // [backend][shard] engine.shard.seconds.<backend>.<shard>
+	spanNames  []string           // per-backend span names, precomputed
+	tracer     *obs.Tracer
+}
+
+// newMetrics resolves the engine's instruments against reg. The
+// per-backend/per-shard latency histograms share obs.LatencyBounds, so
+// they merge exactly into a global latency distribution.
+func newMetrics(reg *obs.Registry, names []string, shards int) *metrics {
+	m := &metrics{
+		searches:   reg.Counter("engine.search.total"),
+		degraded:   reg.Counter("search.degraded"),
+		panics:     reg.Counter("engine.shard.panics"),
+		candidates: reg.Histogram("engine.search.candidates", obs.CountBounds()),
+		mergeLat:   reg.Histogram("engine.merge.seconds", obs.LatencyBounds()),
+		tracer:     reg.Tracer(),
+	}
+	m.shardLat = make([][]*obs.Histogram, len(names))
+	m.spanNames = make([]string, len(names))
+	for bi, n := range names {
+		m.spanNames[bi] = "engine.search." + n
+		m.shardLat[bi] = make([]*obs.Histogram, shards)
+		for si := 0; si < shards; si++ {
+			m.shardLat[bi][si] = reg.Histogram(
+				fmt.Sprintf("engine.shard.seconds.%s.%d", n, si), obs.LatencyBounds())
+		}
+	}
+	return m
 }
 
 // New builds an empty engine. Backend names are canonicalized and
@@ -84,6 +135,9 @@ func New(opts Options) (*Engine, error) {
 		}
 	}
 	e := &Engine{opts: opts, names: names}
+	if opts.Metrics != nil {
+		e.met = newMetrics(opts.Metrics, names, opts.Shards)
+	}
 	for s := 0; s < opts.Shards; s++ {
 		sh := &shard{}
 		for _, n := range names {
@@ -242,6 +296,26 @@ func (e *Engine) FastPathCount() int64 {
 		}
 	}
 	return total
+}
+
+// merge is mergeTopK with observability around it: the candidate count
+// (total per-shard results entering the merge) and the merge latency are
+// recorded separately from the per-shard search work — shard latency is
+// measured inside the fan-out worker (searchShard), so a slow shard and
+// a slow merge are independently attributable.
+func (e *Engine) merge(per [][]Result, k int) []Result {
+	if e.met == nil {
+		return mergeTopK(per, k)
+	}
+	var n int
+	for _, rs := range per {
+		n += len(rs)
+	}
+	e.met.candidates.Observe(float64(n))
+	start := time.Now()
+	out := mergeTopK(per, k)
+	e.met.mergeLat.Observe(time.Since(start).Seconds())
+	return out
 }
 
 // mergeTopK merges per-shard top-k lists (each sorted by (score, id))

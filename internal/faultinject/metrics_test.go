@@ -1,0 +1,238 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"traj2hash/internal/engine"
+	"traj2hash/internal/hamming"
+	"traj2hash/internal/obs"
+)
+
+// instrumentedFaultyEngine is faultyEngine with an obs registry attached.
+func instrumentedFaultyEngine(t *testing.T, reg *obs.Registry, shards int, f *Faults, vecs [][]float64) *engine.Engine {
+	t.Helper()
+	Register()
+	e, err := engine.New(engine.Options{
+		Backends: []string{BackendName},
+		Shards:   shards,
+		Workers:  4,
+		Metrics:  reg,
+		Config:   engine.Config{Hooks: f},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vecs {
+		if _, err := e.Add(v, hamming.Code{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+// exportMetricsArtifact writes the registry's JSON snapshot to the file
+// named by METRICS_JSON_OUT (the CI artifact; see scripts/ci.sh). A
+// no-op when the variable is unset, so ordinary `go test` runs leave no
+// files behind.
+func exportMetricsArtifact(t *testing.T, reg *obs.Registry) {
+	t.Helper()
+	path := os.Getenv("METRICS_JSON_OUT")
+	if path == "" {
+		return
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("metrics artifact: %v", err)
+	}
+	if err := reg.WriteJSON(out); err != nil {
+		//lint:ignore errcheck the write error takes precedence over the cleanup close
+		out.Close()
+		t.Fatalf("metrics artifact: %v", err)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatalf("metrics artifact: %v", err)
+	}
+}
+
+// TestInjectedPanicsMoveMetrics is the acceptance check that chaos is
+// VISIBLE: every injected shard panic must surface as an
+// engine.shard.panics increment and every degraded answer as a
+// search.degraded increment — exact deltas, not just "nonzero".
+func TestInjectedPanicsMoveMetrics(t *testing.T) {
+	const (
+		n       = 90
+		dim     = 8
+		shards  = 3
+		queries = 4
+	)
+	rng := rand.New(rand.NewSource(61))
+	vecs := testVecs(rng, n, dim)
+	reg := obs.New()
+	f := &Faults{PanicOn: map[int]bool{1: true}}
+	e := instrumentedFaultyEngine(t, reg, shards, f, vecs)
+
+	for i := 0; i < queries; i++ {
+		q := testVecs(rng, 1, dim)[0]
+		_, st := e.SearchCtx(context.Background(), engine.Query{Emb: q}, 10)
+		if st.Complete {
+			t.Fatalf("query %d: complete despite a panicking shard", i)
+		}
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counters["engine.shard.panics"]; got != queries {
+		t.Errorf("engine.shard.panics = %d, want %d", got, queries)
+	}
+	if got := s.Counters["search.degraded"]; got != queries {
+		t.Errorf("search.degraded = %d, want %d", got, queries)
+	}
+	if got := s.Counters["engine.search.total"]; got != queries {
+		t.Errorf("engine.search.total = %d, want %d", got, queries)
+	}
+	// The panicking shard's latency is still accounted (the defer
+	// observes on the panic path too): every shard histogram saw every
+	// query.
+	for si := 0; si < shards; si++ {
+		name := fmt.Sprintf("engine.shard.seconds.%s.%d", BackendName, si)
+		if h := s.Histograms[name]; h.Count != queries {
+			t.Errorf("%s count = %d, want %d", name, h.Count, queries)
+		}
+	}
+	exportMetricsArtifact(t, reg)
+}
+
+// TestSlowShardLatencyAttributedToThatShard is the fan-out timing
+// regression test: per-shard latency is measured inside the worker, so
+// one slow shard must show up in ITS histogram only — not smeared over
+// the fast shards (the old around-the-merge measurement charged every
+// shard for the slowest one) and not folded into the merge time.
+func TestSlowShardLatencyAttributedToThatShard(t *testing.T) {
+	const (
+		n       = 60
+		dim     = 8
+		shards  = 3
+		queries = 3
+		nap     = 30 * time.Millisecond
+	)
+	rng := rand.New(rand.NewSource(67))
+	vecs := testVecs(rng, n, dim)
+	reg := obs.New()
+	f := &Faults{SleepOn: map[int]time.Duration{1: nap}}
+	e := instrumentedFaultyEngine(t, reg, shards, f, vecs)
+
+	for i := 0; i < queries; i++ {
+		q := testVecs(rng, 1, dim)[0]
+		_, st := e.SearchCtx(context.Background(), engine.Query{Emb: q}, 10)
+		if !st.Complete {
+			t.Fatalf("query %d incomplete: %v", i, st.Err)
+		}
+	}
+
+	s := reg.Snapshot()
+	name := func(si int) string { return fmt.Sprintf("engine.shard.seconds.%s.%d", BackendName, si) }
+	slow := s.Histograms[name(1)]
+	if slow.Count != queries {
+		t.Fatalf("slow shard count = %d, want %d", slow.Count, queries)
+	}
+	minSlow := float64(queries) * nap.Seconds()
+	if slow.Sum < minSlow {
+		t.Errorf("slow shard latency sum = %v, want >= %v", slow.Sum, minSlow)
+	}
+	for _, si := range []int{0, 2} {
+		fast := s.Histograms[name(si)]
+		if fast.Count != queries {
+			t.Fatalf("shard %d count = %d, want %d", si, fast.Count, queries)
+		}
+		if fast.Sum >= slow.Sum {
+			t.Errorf("shard %d latency sum %v >= slow shard's %v: injected latency leaked across shards", si, fast.Sum, slow.Sum)
+		}
+	}
+	// The merge is timed separately and must not absorb the shard wait.
+	merge := s.Histograms["engine.merge.seconds"]
+	if merge.Count != queries {
+		t.Fatalf("merge count = %d, want %d", merge.Count, queries)
+	}
+	if merge.Sum >= slow.Sum {
+		t.Errorf("merge latency sum %v >= slow shard's %v: shard wait folded into the merge measurement", merge.Sum, slow.Sum)
+	}
+}
+
+// TestTimeoutPartialResultCountsDegraded: a deadline expiring mid-fan-out
+// (the CLI's `search -timeout` scenario) must return a partial answer
+// AND increment search.degraded.
+func TestTimeoutPartialResultCountsDegraded(t *testing.T) {
+	const (
+		n      = 60
+		dim    = 8
+		shards = 3
+	)
+	rng := rand.New(rand.NewSource(71))
+	vecs := testVecs(rng, n, dim)
+	reg := obs.New()
+	f := &Faults{SleepOn: map[int]time.Duration{2: 2 * time.Second}}
+	e := instrumentedFaultyEngine(t, reg, shards, f, vecs)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	q := testVecs(rng, 1, dim)[0]
+	rs, st := e.SearchCtx(ctx, engine.Query{Emb: q}, 10)
+	if st.Complete {
+		t.Error("complete despite an expired deadline")
+	}
+	if !errors.Is(st.Err, context.DeadlineExceeded) {
+		t.Errorf("status error = %v, want a wrapped DeadlineExceeded", st.Err)
+	}
+	if len(rs) == 0 {
+		t.Error("no partial results from the fast shards")
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["search.degraded"]; got != 1 {
+		t.Errorf("search.degraded = %d, want 1", got)
+	}
+	if got := s.Counters["engine.shard.panics"]; got != 0 {
+		t.Errorf("engine.shard.panics = %d, want 0 (slow is not panicking)", got)
+	}
+}
+
+// TestChaosPanicsAllVisible: under seeded probabilistic chaos the panic
+// counter must equal the number of failed shard attempts accumulated
+// across the statuses — no panic escapes accounting.
+func TestChaosPanicsAllVisible(t *testing.T) {
+	const (
+		n       = 90
+		dim     = 8
+		shards  = 3
+		queries = 40
+	)
+	rng := rand.New(rand.NewSource(73))
+	vecs := testVecs(rng, n, dim)
+	reg := obs.New()
+	f := &Faults{PanicProb: 0.3, Seed: 991}
+	e := instrumentedFaultyEngine(t, reg, shards, f, vecs)
+
+	var failed, degraded int64
+	for i := 0; i < queries; i++ {
+		q := testVecs(rng, 1, dim)[0]
+		_, st := e.SearchCtx(context.Background(), engine.Query{Emb: q}, 5)
+		failed += int64(st.ShardsFailed)
+		if !st.Complete {
+			degraded++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("chaos schedule never fired; the scenario is vacuous")
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["engine.shard.panics"]; got != failed {
+		t.Errorf("engine.shard.panics = %d, want %d (sum of ShardsFailed)", got, failed)
+	}
+	if got := s.Counters["search.degraded"]; got != degraded {
+		t.Errorf("search.degraded = %d, want %d", got, degraded)
+	}
+}

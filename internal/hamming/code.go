@@ -92,15 +92,23 @@ func Equal(a, b Code) bool {
 	return true
 }
 
-// Key returns a map key for the code. Codes up to 64 bits use the word
-// directly; longer codes concatenate words into a string key.
+// hexDigits is the lowercase alphabet of Key's fixed-width encoding.
+const hexDigits = "0123456789abcdef"
+
+// Key returns a string map key for a multi-word code (more than 64
+// bits): the words concatenated as fixed-width lowercase hex, oldest
+// word first. A code of 64 bits or fewer has its entire identity in
+// Words[0], so hot-path callers must bucket by the word itself — as
+// Table's fast path does, never calling Key for ≤64-bit codes — because
+// Key allocates its string key on every call. Key remains correct for
+// single-word codes (serialization comparisons use it), just not free.
 func (c Code) Key() string {
-	if len(c.Words) == 1 {
-		return fmt.Sprintf("%016x", c.Words[0])
-	}
-	b := make([]byte, 0, len(c.Words)*16)
-	for _, w := range c.Words {
-		b = append(b, fmt.Sprintf("%016x", w)...)
+	b := make([]byte, len(c.Words)*16)
+	for wi, w := range c.Words {
+		for i := 15; i >= 0; i-- {
+			b[wi*16+i] = hexDigits[w&0xf]
+			w >>= 4
+		}
 	}
 	return string(b)
 }

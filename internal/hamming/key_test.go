@@ -1,0 +1,87 @@
+package hamming
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestKeyMatchesReferenceFormat guards the hand-rolled hex encoding in
+// Key against the fmt-based reference it replaced: fixed-width lowercase
+// hex per word, oldest word first, for both single- and multi-word codes.
+func TestKeyMatchesReferenceFormat(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, bits := range []int{1, 7, 32, 64, 65, 128, 200} {
+		for trial := 0; trial < 20; trial++ {
+			c := randCode(rng, bits)
+			want := ""
+			for _, w := range c.Words {
+				want += fmt.Sprintf("%016x", w)
+			}
+			if got := c.Key(); got != want {
+				t.Fatalf("bits=%d: Key() = %q, want %q", bits, got, want)
+			}
+		}
+	}
+}
+
+// TestTableFastPathNeverAllocates is the regression test for the Key
+// contract: a ≤64-bit table buckets by Words[0] directly, so exact and
+// flipped-bit probes must not allocate (an allocation here would mean a
+// formatted string key sneaked back onto the hot path).
+func TestTableFastPathNeverAllocates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	codes := make([]Code, 256)
+	for i := range codes {
+		codes[i] = randCode(rng, 32)
+	}
+	tb, err := NewTable(codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := codes[17]
+	if n := testing.AllocsPerRun(1000, func() {
+		tb.Lookup(q)
+	}); n != 0 {
+		t.Fatalf("Lookup on a single-word table allocated %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		tb.lookupFlipped(q, 3, -1)
+		tb.lookupFlipped(q, 3, 9)
+	}); n != 0 {
+		t.Fatalf("flipped-bit probes on a single-word table allocated %v times per run, want 0", n)
+	}
+}
+
+// BenchmarkTableLookupFastPath is the satellite's zero-alloc benchmark:
+// run with -benchmem to see 0 allocs/op on the ≤64-bit lookup path.
+func BenchmarkTableLookupFastPath(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	codes := make([]Code, 4096)
+	for i := range codes {
+		codes[i] = randCode(rng, 64)
+	}
+	tb, err := NewTable(codes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := codes[1234]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(q)
+	}
+}
+
+// BenchmarkCodeKeyMultiWord measures the slow-table key path (the only
+// place Key belongs): one string per call, by contract off the ≤64-bit
+// hot path.
+func BenchmarkCodeKeyMultiWord(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	c := randCode(rng, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Key()
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceCapacity is the ring-buffer size of a Registry's lazily
+// created Tracer: enough to hold the recent past of a busy serving
+// process without unbounded growth.
+const DefaultTraceCapacity = 1024
+
+// Span is one completed traced operation: a name, a wall-clock start,
+// a duration, and the IDs linking it into a trace tree. IDs are
+// process-unique and monotonically increasing; Parent is 0 for roots.
+type Span struct {
+	ID     uint64        `json:"id"`
+	Parent uint64        `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur_ns"`
+}
+
+// Tracer records completed spans into a fixed-capacity ring buffer:
+// retention is bounded, the newest spans win, and the buffer can be
+// dumped on demand (the CLI's /trace endpoint). Start/End are safe for
+// concurrent use; a nil *Tracer is a no-op and ActiveSpans from it are
+// nil no-ops too, so tracing costs nothing when disabled.
+type Tracer struct {
+	next atomic.Uint64 // last issued span ID
+
+	mu   sync.Mutex
+	ring []Span
+	pos  int
+	full bool
+}
+
+// NewTracer returns a tracer retaining the last `capacity` completed
+// spans (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// ActiveSpan is an in-flight span handle; End completes it into the
+// tracer's ring. A nil *ActiveSpan (from a nil Tracer) is a no-op.
+type ActiveSpan struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+}
+
+// Start opens a span under the given parent ID (0 = root) and returns
+// its handle. A nil tracer returns a nil handle.
+func (t *Tracer) Start(name string, parent uint64) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return &ActiveSpan{
+		t:      t,
+		id:     t.next.Add(1),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// ID returns the span's process-unique ID, for parenting child spans
+// (0 on a nil handle).
+func (s *ActiveSpan) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// End completes the span, recording it into the tracer's ring buffer
+// (no-op on a nil handle).
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	sp := Span{ID: s.id, Parent: s.parent, Name: s.name, Start: s.start, Dur: time.Since(s.start)}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring[t.pos] = sp
+	t.pos++
+	if t.pos == len(t.ring) {
+		t.pos = 0
+		t.full = true
+	}
+}
+
+// Spans returns the retained completed spans, oldest first (nil on a nil
+// tracer).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Span(nil), t.ring[:t.pos]...)
+	}
+	out := make([]Span, 0, len(t.ring))
+	out = append(out, t.ring[t.pos:]...)
+	out = append(out, t.ring[:t.pos]...)
+	return out
+}
+
+// WriteJSON dumps the retained spans as indented JSON — the payload of
+// the CLI's /trace endpoint.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	spans := t.Spans()
+	if spans == nil {
+		spans = []Span{}
+	}
+	b, err := json.MarshalIndent(spans, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,26 @@
+package traj2hash
+
+import "traj2hash/internal/obs"
+
+// MetricsRegistry is the observability registry of the library: a
+// namespaced set of counters, gauges, latency/candidate histograms, and
+// a span tracer, safe for concurrent use (see DESIGN.md
+// "Observability"). Pass one via Options.Metrics to instrument an
+// Index, or via TrainData.Metrics (core) to instrument training; read
+// it back with Index.Stats or Snapshot.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of a registry's instruments,
+// as returned by Index.Stats: counter and gauge values by name plus
+// histogram bucket counts. It marshals to the same JSON the CLI's
+// /metrics debug endpoint serves.
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetricsRegistry returns a fresh, empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.New() }
+
+// DefaultMetricsRegistry returns the process-global registry, shared by
+// call sites with no configuration surface of their own (checkpoint
+// persistence counters, the CLI). Library users who want isolated
+// numbers should prefer NewMetricsRegistry.
+func DefaultMetricsRegistry() *MetricsRegistry { return obs.Default() }

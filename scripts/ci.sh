@@ -5,13 +5,23 @@
 #      correctness contracts (see DESIGN.md "Static analysis & invariants")
 #   3. go vet
 #   4. go build
-#   5. fault-injection scenarios under the race detector — the
-#      failure-domain contracts (panic isolation, deadlines, checkpoint
-#      rollback; see DESIGN.md "Failure semantics & graceful degradation")
-#      run first and fast, so a broken contract fails the gate before the
-#      full suite spins up
+#   5. fault-injection + observability scenarios under the race detector
+#      — the failure-domain contracts (panic isolation, deadlines,
+#      checkpoint rollback) AND their visibility (injected faults must
+#      move the obs counters; see DESIGN.md "Observability") run first
+#      and fast, so a broken contract fails the gate before the full
+#      suite spins up. The faultinject metrics tests export a JSON
+#      snapshot artifact to bin/metrics.json (METRICS_JSON_OUT).
 #   6. full test suite under the race detector (the engine's concurrent
 #      Add/Search tests only mean something with -race)
+#
+# BENCH_obs — the instrumentation overhead guard (not a CI gate:
+# wall-clock benchmarks are too noisy to fail a build on; run it when
+# touching the obs package or the engine's metrics paths):
+#   go test -bench 'SearchBatch(No)?Metrics' -benchmem -count 5 ./internal/engine
+# BenchmarkSearchBatchMetrics must stay within 5% of
+# BenchmarkSearchBatchNoMetrics (the nil-registry no-op path); see
+# DESIGN.md "Observability".
 # Usage: ./scripts/ci.sh [extra go test args]
 set -eu
 
@@ -56,10 +66,15 @@ go vet ./... || {
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race (fault-injection scenarios)"
-go test -race -run 'Fault|Panic|Chaos|Deadline|Checkpoint|Resume|Diverg|Rollback|Cancel|EdgeCases' \
-	./internal/engine ./internal/faultinject ./internal/core || {
-	echo "fault injection: a failure-domain contract is broken — partial results, panic isolation, and checkpoint rollback are specified in DESIGN.md 'Failure semantics & graceful degradation'"
+echo "== go test -race (fault-injection + observability scenarios)"
+METRICS_JSON_OUT="$PWD/bin/metrics.json" \
+	go test -race -run 'Fault|Panic|Chaos|Deadline|Checkpoint|Resume|Diverg|Rollback|Cancel|EdgeCases|Metrics|Degraded|Timeout|Histogram|Tracer|SaveCheckpointFile' \
+	./internal/engine ./internal/faultinject ./internal/core ./internal/obs || {
+	echo "fault injection: a failure-domain contract is broken — partial results, panic isolation, checkpoint rollback, and their metric visibility are specified in DESIGN.md 'Failure semantics & graceful degradation' and 'Observability'"
+	exit 1
+}
+[ -s bin/metrics.json ] || {
+	echo "observability: the faultinject metrics stage did not export bin/metrics.json (TestInjectedPanicsMoveMetrics writes it when METRICS_JSON_OUT is set)"
 	exit 1
 }
 

@@ -129,6 +129,43 @@ func TestIndexLifecycle(t *testing.T) {
 	}
 }
 
+func TestIndexStats(t *testing.T) {
+	m, ds := facadeFixture(t)
+	reg := NewMetricsRegistry()
+	ix, err := NewIndexWith(m, ds.Database, Options{Shards: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range ds.Queries {
+		if got := ix.Search(q, 5); len(got) != 5 {
+			t.Fatalf("search returned %d results", len(got))
+		}
+	}
+	s := ix.Stats()
+	if got := s.Counters["engine.search.total"]; got != int64(len(ds.Queries)) {
+		t.Errorf("engine.search.total = %d, want %d", got, len(ds.Queries))
+	}
+	if got := s.Counters["search.degraded"]; got != 0 {
+		t.Errorf("search.degraded = %d, want 0", got)
+	}
+	if h := s.Histograms["engine.merge.seconds"]; h.Count != int64(len(ds.Queries)) {
+		t.Errorf("engine.merge.seconds count = %d, want %d", h.Count, len(ds.Queries))
+	}
+
+	// An uninstrumented index still answers Stats, with empty maps.
+	ix2, err := NewIndexWith(m, ds.Database, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := ix2.Stats()
+	if s2.Counters == nil || s2.Gauges == nil || s2.Histograms == nil {
+		t.Error("uninstrumented Stats returned nil maps")
+	}
+	if len(s2.Counters) != 0 {
+		t.Errorf("uninstrumented Stats has counters: %v", s2.Counters)
+	}
+}
+
 func TestIndexIncrementalAdd(t *testing.T) {
 	m, ds := facadeFixture(t)
 	ix, err := NewIndex(m, ds.Database[:10])
