@@ -1,8 +1,9 @@
 // Command traj2hash is the command-line interface of the library:
 //
 //	traj2hash gen        generate a synthetic trajectory dataset
-//	traj2hash train      train a Traj2Hash model on a dataset
-//	traj2hash search     top-k similar trajectory search with a trained model
+//	traj2hash train      train a trainable encoder (attention, cnn) on a dataset
+//	traj2hash search     top-k similar trajectory search with an encoder
+//	traj2hash bench      benchmark embed/encode throughput per encoder kind
 //	traj2hash experiment reproduce one of the paper's tables or figures
 //	traj2hash all        reproduce every table and figure
 //
@@ -54,6 +55,8 @@ func main() {
 		err = cmdTrain(ctx, os.Args[2:])
 	case "search":
 		err = cmdSearch(ctx, os.Args[2:])
+	case "bench":
+		err = cmdBench(ctx, os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(ctx, os.Args[2:])
 	case "all":
@@ -76,9 +79,10 @@ func usage() {
 commands:
   gen         generate a synthetic trajectory dataset (porto | chengdu)
   import      build a dataset from a CSV of real trajectories
-  train       train a Traj2Hash model on a generated dataset
-  search      top-k similar trajectory search with a trained model
-  experiment  reproduce a paper table/figure: table1..3 fig4..9 extra-cdtw
+  train       train a trainable encoder (-encoder attention|cnn) on a dataset
+  search      top-k similar trajectory search with an encoder
+  bench       benchmark embed/encode throughput per encoder kind
+  experiment  reproduce a paper table/figure: table1..3 fig4..9 extra-cdtw encoders
   all         reproduce every table and figure`)
 }
 
@@ -205,6 +209,8 @@ func cmdTrain(ctx context.Context, args []string) error {
 	in := fs.String("data", "dataset.gob", "dataset path (from gen)")
 	distName := fs.String("dist", "frechet", "distance function: dtw|frechet|hausdorff")
 	scale := fs.String("scale", "small", "model scale: tiny|small|medium|paper")
+	encoderKind := fs.String("encoder", core.AttentionKind,
+		"encoder kind to train: "+strings.Join(core.EncoderKinds(), " | "))
 	out := fs.String("out", "model.gob", "output model path")
 	ckptEvery := fs.Int("checkpoint-every", 0,
 		"write a resumable checkpoint every N epochs (0 = only on interrupt)")
@@ -243,10 +249,18 @@ func cmdTrain(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := experiments.ParamsFor(sc).CoreConfig()
-	m, err := core.New(cfg, ds.All())
+	kind, err := core.ResolveEncoderKind(*encoderKind)
 	if err != nil {
 		return err
+	}
+	cfg := experiments.ParamsFor(sc).CoreConfig()
+	enc, err := core.NewEncoder(kind, cfg, ds.All())
+	if err != nil {
+		return err
+	}
+	m, ok := enc.(core.Trainable)
+	if !ok {
+		return fmt.Errorf("train: encoder %q is training-free; it needs no train step — use it directly, e.g. 'traj2hash search -encoder %s'", kind, kind)
 	}
 	wroteCkpt := false
 	td := core.TrainData{
@@ -280,11 +294,11 @@ func cmdTrain(ctx context.Context, args []string) error {
 		}
 		return err
 	}
-	if err := m.SaveFile(*out); err != nil {
+	if err := core.SaveEncoderFile(*out, enc); err != nil {
 		return err
 	}
-	fmt.Printf("trained %s on %s for %v: best validation HR@10 %.4f at epoch %d, %d triplets (%v) -> %s\n",
-		f, ds.Name, cfg.Epochs, h.BestHR10, h.BestEpoch, h.Triplets,
+	fmt.Printf("trained %s encoder on %s (%s) for %v epochs: best validation HR@10 %.4f at epoch %d, %d triplets (%v) -> %s\n",
+		kind, ds.Name, f, cfg.Epochs, h.BestHR10, h.BestEpoch, h.Triplets,
 		time.Since(start).Round(time.Millisecond), *out)
 	if len(h.Diverged) > 0 {
 		fmt.Printf("divergence guard tripped at epoch(s) %v; rolled back and replayed at reduced LR\n", h.Diverged)
@@ -297,8 +311,12 @@ func cmdTrain(ctx context.Context, args []string) error {
 
 func cmdSearch(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("search", flag.ExitOnError)
-	modelPath := fs.String("model", "model.gob", "trained model path")
+	modelPath := fs.String("model", "model.gob", "trained encoder path (ignored by training-free encoders)")
 	in := fs.String("data", "dataset.gob", "dataset path; queries search its database split")
+	encoderKind := fs.String("encoder", "",
+		"encoder kind: "+strings.Join(core.EncoderKinds(), " | ")+
+			"; training-free kinds build from the dataset, trainable kinds load -model and must match (default: whatever -model holds)")
+	scale := fs.String("scale", "small", "config scale for training-free encoders built on the fly")
 	k := fs.Int("k", 10, "number of results per query")
 	strategy := fs.String("strategy", "hamming-hybrid",
 		"search backend: "+strings.Join(traj2hash.Backends(), " | "))
@@ -322,11 +340,11 @@ func cmdSearch(ctx context.Context, args []string) error {
 		fmt.Printf("debug server on http://%s (metrics, trace, pprof)\n", bound)
 	}
 
-	m, err := core.LoadFile(*modelPath)
+	ds, err := data.Load(*in)
 	if err != nil {
 		return err
 	}
-	ds, err := data.Load(*in)
+	enc, err := searchEncoder(*encoderKind, *modelPath, *scale, ds)
 	if err != nil {
 		return err
 	}
@@ -338,7 +356,7 @@ func cmdSearch(ctx context.Context, args []string) error {
 	// The CLI serves queries through the same engine as the public API:
 	// the -strategy backend behind a sharded, concurrent index.
 	buildStart := time.Now()
-	idx, err := traj2hash.NewIndexWith(m, ds.Database, traj2hash.Options{
+	idx, err := traj2hash.NewIndexWith(enc, ds.Database, traj2hash.Options{
 		Backend: *strategy,
 		Shards:  *shards,
 		Workers: *workers,
@@ -347,8 +365,8 @@ func cmdSearch(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("indexed %d trajectories in %v (%s backend, %d shard(s))\n",
-		idx.Len(), time.Since(buildStart).Round(time.Millisecond), idx.Backend(), *shards)
+	fmt.Printf("indexed %d trajectories in %v (%s encoder, %s backend, %d shard(s))\n",
+		idx.Len(), time.Since(buildStart).Round(time.Millisecond), enc.Kind(), idx.Backend(), *shards)
 
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -386,6 +404,106 @@ func cmdSearch(ctx context.Context, args []string) error {
 	}
 	if *stats {
 		printStats(reg)
+	}
+	return nil
+}
+
+// searchEncoder resolves the encoder a search-like subcommand runs with:
+// with no -encoder flag it loads whatever the model file holds; a
+// training-free kind (geopth) is built from the dataset on the fly — no
+// model file and no training run needed; a trainable kind loads the model
+// file and insists the stored encoder matches.
+func searchEncoder(kindFlag, modelPath, scale string, ds *data.Dataset) (core.Encoder, error) {
+	if kindFlag == "" {
+		return core.LoadEncoderFile(modelPath)
+	}
+	kind, err := core.ResolveEncoderKind(kindFlag)
+	if err != nil {
+		return nil, err
+	}
+	if kind == core.GeoPTHKind {
+		sc, err := experiments.ParseScale(scale)
+		if err != nil {
+			return nil, err
+		}
+		cfg := experiments.ParamsFor(sc).CoreConfig()
+		return core.NewEncoder(kind, cfg, ds.All())
+	}
+	enc, err := core.LoadEncoderFile(modelPath)
+	if err != nil {
+		return nil, err
+	}
+	if enc.Kind() != kind {
+		return nil, fmt.Errorf("search: %s holds a %q encoder, but -encoder %s was requested; train one with 'traj2hash train -encoder %s'",
+			modelPath, enc.Kind(), kind, kind)
+	}
+	return enc, nil
+}
+
+// cmdBench times each encoder kind's embed and hash throughput on a
+// dataset. Encoders are built fresh and left untrained: training changes
+// the parameter values, not the arithmetic, so throughput is identical
+// and no model files are needed.
+func cmdBench(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	in := fs.String("data", "dataset.gob", "dataset path (from gen)")
+	scale := fs.String("scale", "small", "encoder config scale: tiny|small|medium|paper")
+	kinds := fs.String("encoders", strings.Join(core.EncoderKinds(), ","),
+		"comma-separated encoder kinds to benchmark")
+	n := fs.Int("n", 100, "number of trajectories to embed per measurement")
+	workers := fs.Int("workers", 0, "workers for the parallel embed pass (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := data.Load(*in)
+	if err != nil {
+		return err
+	}
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.ParamsFor(sc).CoreConfig()
+	ts := ds.Database
+	if *n < len(ts) {
+		ts = ts[:*n]
+	}
+	if len(ts) == 0 {
+		return fmt.Errorf("bench: dataset has no database trajectories")
+	}
+	fmt.Printf("benchmarking %d trajectories per pass (scale %s, %d bits)\n", len(ts), sc, cfg.HashBits)
+	for _, kindFlag := range strings.Split(*kinds, ",") {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		kind, err := core.ResolveEncoderKind(strings.TrimSpace(kindFlag))
+		if err != nil {
+			return err
+		}
+		buildStart := time.Now()
+		enc, err := core.NewEncoder(kind, cfg, ds.All())
+		if err != nil {
+			return err
+		}
+		buildDur := time.Since(buildStart)
+
+		embStart := time.Now()
+		enc.EmbedAll(ts)
+		embDur := time.Since(embStart)
+
+		parStart := time.Now()
+		enc.EmbedAllParallel(ts, *workers)
+		parDur := time.Since(parStart)
+
+		codeStart := time.Now()
+		enc.CodeAll(ts)
+		codeDur := time.Since(codeStart)
+
+		per := func(d time.Duration) string {
+			return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/float64(len(ts))/1e3)
+		}
+		fmt.Printf("%-10s build %8v | embed %s/traj | parallel %s/traj | code %s/traj\n",
+			kind, buildDur.Round(time.Millisecond), per(embDur), per(parDur), per(codeDur))
 	}
 	return nil
 }

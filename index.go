@@ -77,33 +77,34 @@ type Options struct {
 // similar-trajectory queries with any registered search backend. It is a
 // thin facade over the sharded internal query engine and is safe for
 // concurrent use: any number of goroutines may Add and Search at once
-// (training the model concurrently is not).
+// (training the encoder concurrently is not).
 type Index struct {
-	model *Model
-	opts  Options
-	eng   *engine.Engine
+	enc  Encoder
+	opts Options
+	eng  *engine.Engine
 
 	mu    sync.RWMutex // guards trajs and embs
 	trajs []Trajectory
 	embs  [][]float64
 }
 
-// NewIndex embeds and indexes the given trajectories with a trained model
-// and default Options. At least one trajectory is required; use Add or
+// NewIndex embeds and indexes the given trajectories with an encoder
+// (e.g. a trained Model, or any other registered Encoder kind) and
+// default Options. At least one trajectory is required; use Add or
 // AddBatch for subsequent insertions.
-func NewIndex(m *Model, ts []Trajectory) (*Index, error) {
+func NewIndex(enc Encoder, ts []Trajectory) (*Index, error) {
 	if len(ts) == 0 {
 		return nil, fmt.Errorf("traj2hash: empty initial database")
 	}
-	return NewIndexWith(m, ts, Options{})
+	return NewIndexWith(enc, ts, Options{})
 }
 
 // NewIndexWith embeds and indexes the given trajectories (which may be
 // empty) with explicit Options. The initial batch is embedded in parallel
 // across opts.Workers goroutines.
-func NewIndexWith(m *Model, ts []Trajectory, opts Options) (*Index, error) {
-	if m == nil {
-		return nil, fmt.Errorf("traj2hash: nil model")
+func NewIndexWith(enc Encoder, ts []Trajectory, opts Options) (*Index, error) {
+	if enc == nil {
+		return nil, fmt.Errorf("traj2hash: nil encoder")
 	}
 	backend := opts.Backend
 	if backend == "" {
@@ -118,7 +119,7 @@ func NewIndexWith(m *Model, ts []Trajectory, opts Options) (*Index, error) {
 		Workers:  opts.Workers,
 		Metrics:  opts.Metrics,
 		Config: engine.Config{
-			Bits:      m.Cfg.HashBits,
+			Bits:      enc.Dim(),
 			MIHChunks: opts.MIHChunks,
 			VPSeed:    opts.VPTreeSeed,
 		},
@@ -126,7 +127,7 @@ func NewIndexWith(m *Model, ts []Trajectory, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := &Index{model: m, opts: opts, eng: eng}
+	ix := &Index{enc: enc, opts: opts, eng: eng}
 	if _, err := ix.AddBatch(ts); err != nil {
 		return nil, err
 	}
@@ -135,7 +136,7 @@ func NewIndexWith(m *Model, ts []Trajectory, opts Options) (*Index, error) {
 
 // Add embeds and indexes one more trajectory, returning its id.
 func (ix *Index) Add(t Trajectory) (int, error) {
-	emb := ix.model.Embed(t)
+	emb := ix.enc.Embed(t)
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	return ix.add(t, emb)
@@ -147,7 +148,7 @@ func (ix *Index) AddBatch(ts []Trajectory) ([]int, error) {
 	if len(ts) == 0 {
 		return nil, nil
 	}
-	embs := ix.model.EmbedAllParallel(ts, ix.opts.Workers)
+	embs := ix.enc.EmbedAllParallel(ts, ix.opts.Workers)
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	ids := make([]int, len(ts))
@@ -197,16 +198,19 @@ func (ix *Index) Embedding(id int) []float64 {
 // Backend returns the name of the backend serving Search/SearchBatch.
 func (ix *Index) Backend() string { return ix.eng.Backends()[0] }
 
+// Encoder returns the encoder the index embeds and hashes with.
+func (ix *Index) Encoder() Encoder { return ix.enc }
+
 // Search returns the k most similar trajectories under the configured
 // backend (Options.Backend). The query is embedded on the fly; to
-// amortize encoding over repeated searches, embed once with the Model and
-// use SearchByVec.
+// amortize encoding over repeated searches, embed once with the encoder
+// and use SearchByVec.
 func (ix *Index) Search(q Trajectory, k int) []Result {
-	return ix.SearchByVec(ix.model.Embed(q), k)
+	return ix.SearchByVec(ix.enc.Embed(q), k)
 }
 
 // SearchByVec is Search with a precomputed query embedding (from
-// Model.Embed). The Hamming code is derived from the embedding's signs,
+// Encoder.Embed). The Hamming code is derived from the embedding's signs,
 // so one forward pass serves every backend.
 func (ix *Index) SearchByVec(qe []float64, k int) []Result {
 	return toResults(ix.eng.Search(engine.Query{Emb: qe, Code: hamming.FromSigns(qe)}, k))
@@ -217,7 +221,7 @@ func (ix *Index) SearchByVec(qe []float64, k int) []Result {
 // and fanning the searches out across the index's worker budget. Results
 // are in query order.
 func (ix *Index) SearchBatch(qs []Trajectory, k int) [][]Result {
-	embs := ix.model.EmbedAllParallel(qs, ix.opts.Workers)
+	embs := ix.enc.EmbedAllParallel(qs, ix.opts.Workers)
 	queries := make([]engine.Query, len(embs))
 	for i, e := range embs {
 		queries[i] = engine.Query{Emb: e, Code: hamming.FromSigns(e)}
@@ -236,7 +240,7 @@ func (ix *Index) SearchBatch(qs []Trajectory, k int) [][]Result {
 // returned Status. A panicking shard degrades the answer instead of
 // crashing the process.
 func (ix *Index) SearchCtx(ctx context.Context, q Trajectory, k int) ([]Result, Status) {
-	return ix.SearchByVecCtx(ctx, ix.model.Embed(q), k)
+	return ix.SearchByVecCtx(ctx, ix.enc.Embed(q), k)
 }
 
 // SearchByVecCtx is SearchCtx with a precomputed query embedding.
@@ -251,7 +255,7 @@ func (ix *Index) SearchByVecCtx(ctx context.Context, qe []float64, k int) ([]Res
 // error. (Query embedding happens before the deadline applies to shard
 // work; embed separately and use the engine directly for finer control.)
 func (ix *Index) SearchBatchCtx(ctx context.Context, qs []Trajectory, k int) ([][]Result, []Status) {
-	embs := ix.model.EmbedAllParallel(qs, ix.opts.Workers)
+	embs := ix.enc.EmbedAllParallel(qs, ix.opts.Workers)
 	queries := make([]engine.Query, len(embs))
 	for i, e := range embs {
 		queries[i] = engine.Query{Emb: e, Code: hamming.FromSigns(e)}
@@ -268,7 +272,7 @@ func (ix *Index) SearchBatchCtx(ctx context.Context, qs []Trajectory, k int) ([]
 // answers (missed shards) are tagged by the Status.
 func (ix *Index) WithinCtx(ctx context.Context, q Trajectory, radius int) ([]int, Status) {
 	//lint:ignore errcheck the built-in backend registration makes the config error impossible here
-	ids, st, _ := ix.eng.WithinCtx(ctx, ix.model.Code(q), radius)
+	ids, st, _ := ix.eng.WithinCtx(ctx, ix.enc.Code(q), radius)
 	return ids, st
 }
 
@@ -276,11 +280,11 @@ func (ix *Index) WithinCtx(ctx context.Context, q Trajectory, radius int) ([]int
 // distance (Euclidean-BF): exact over the learned space, highest accuracy,
 // linear scan cost.
 func (ix *Index) SearchEuclidean(q Trajectory, k int) []Result {
-	return ix.SearchEuclideanByVec(ix.model.Embed(q), k)
+	return ix.SearchEuclideanByVec(ix.enc.Embed(q), k)
 }
 
 // SearchEuclideanByVec is SearchEuclidean with a precomputed query
-// embedding (from Model.Embed).
+// embedding (from Encoder.Embed).
 func (ix *Index) SearchEuclideanByVec(qe []float64, k int) []Result {
 	//lint:ignore errcheck the built-in backend name is always registered; the config error is impossible
 	rs, _ := ix.eng.SearchWith(BackendEuclideanBF, engine.Query{Emb: qe}, k)
@@ -291,11 +295,11 @@ func (ix *Index) SearchEuclideanByVec(qe []float64, k int) []Result {
 // over the binary codes (Hamming-BF): a popcount scan, ~2× faster than the
 // Euclidean scan.
 func (ix *Index) SearchHamming(q Trajectory, k int) []Result {
-	return ix.SearchHammingByCode(ix.model.Code(q), k)
+	return ix.SearchHammingByCode(ix.enc.Code(q), k)
 }
 
 // SearchHammingByCode is SearchHamming with a precomputed query code (from
-// Model.Code or SignCode).
+// Encoder.Code or SignCode).
 func (ix *Index) SearchHammingByCode(qc Code, k int) []Result {
 	//lint:ignore errcheck the built-in backend name is always registered; the config error is impossible
 	rs, _ := ix.eng.SearchWith(BackendHammingBF, engine.Query{Code: qc}, k)
@@ -307,7 +311,7 @@ func (ix *Index) SearchHammingByCode(qc Code, k int) []Result {
 // holds at least k items, brute-force scan otherwise. Fastest on large
 // databases.
 func (ix *Index) SearchHybrid(q Trajectory, k int) []Result {
-	return ix.SearchHybridByCode(ix.model.Code(q), k)
+	return ix.SearchHybridByCode(ix.enc.Code(q), k)
 }
 
 // SearchHybridByCode is SearchHybrid with a precomputed query code.
@@ -343,23 +347,23 @@ func (ix *Index) Stats() MetricsSnapshot {
 // examples/clustering). Ids are sorted ascending.
 func (ix *Index) Within(q Trajectory, radius int) []int {
 	//lint:ignore errcheck the built-in backend registration makes the config error impossible here
-	ids, _ := ix.eng.Within(ix.model.Code(q), radius)
+	ids, _ := ix.eng.Within(ix.enc.Code(q), radius)
 	return ids
 }
 
-// Code returns the query's Hamming code under the index's model.
-func (ix *Index) Code(q Trajectory) Code { return ix.model.Code(q) }
+// Code returns the query's Hamming code under the index's encoder.
+func (ix *Index) Code(q Trajectory) Code { return ix.enc.Code(q) }
 
 // ApproxDistance returns the index's learned approximation of the
 // trajectory distance between the query and an indexed trajectory. It
 // embeds the query on every call; inside loops over many ids, embed once
 // and use ApproxDistanceByVec.
 func (ix *Index) ApproxDistance(q Trajectory, id int) float64 {
-	return ix.ApproxDistanceByVec(ix.model.Embed(q), id)
+	return ix.ApproxDistanceByVec(ix.enc.Embed(q), id)
 }
 
 // ApproxDistanceByVec is ApproxDistance with a precomputed query
-// embedding (from Model.Embed), amortizing the encoder forward pass over
+// embedding (from Encoder.Embed), amortizing the encoder forward pass over
 // repeated distance evaluations.
 func (ix *Index) ApproxDistanceByVec(qe []float64, id int) float64 {
 	ix.mu.RLock()

@@ -17,7 +17,15 @@ import (
 // CheckpointVersion is the on-disk format version of Checkpoint.Save.
 // Bump it on any incompatible layout change; LoadCheckpoint rejects
 // versions it does not understand instead of mis-decoding them.
-const CheckpointVersion = 1
+//
+// Version history:
+//   - 1: the pre-encoder-interface format — no Kind/Cfg header fields.
+//     Still readable: gob leaves the missing fields zero and an empty
+//     Kind is treated as AttentionKind (the only encoder that existed).
+//   - 2: the header records the encoder kind and its Config, so resuming
+//     into the wrong encoder fails with ErrEncoderMismatch instead of a
+//     shape-mismatch lottery.
+const CheckpointVersion = 2
 
 // Checkpoint is a resumable snapshot of a training run at an epoch
 // boundary: the current parameter values, the best-validation snapshot
@@ -32,6 +40,14 @@ const CheckpointVersion = 1
 // training is bitwise identical to uninterrupted training.
 type Checkpoint struct {
 	Version int
+	// Kind is the encoder kind that wrote the checkpoint (version ≥ 2);
+	// empty means a version-1 checkpoint, which is by definition the
+	// attention model.
+	Kind string
+	// Cfg is the encoder configuration of the run (version ≥ 2),
+	// recorded so tooling can rebuild the encoder without guessing;
+	// zero for version-1 checkpoints.
+	Cfg Config
 	// Epoch is the number of completed epochs; resume starts there.
 	Epoch int
 	// Beta is the current tanh(β·) relaxation scale.
@@ -59,6 +75,8 @@ type Checkpoint struct {
 // four parameter groups follow it via nn.SaveParams.
 type checkpointMeta struct {
 	Version   int
+	Kind      string
+	Cfg       Config
 	Epoch     int
 	Beta      float64
 	LR        float64
@@ -94,6 +112,8 @@ func allocGroup(shapes [][2]int) ([][]float64, []*nn.Tensor) {
 func (c *Checkpoint) Save(w io.Writer) error {
 	meta := checkpointMeta{
 		Version:   CheckpointVersion,
+		Kind:      c.Kind,
+		Cfg:       c.Cfg,
 		Epoch:     c.Epoch,
 		Beta:      c.Beta,
 		LR:        c.LR,
@@ -122,11 +142,13 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if err := gob.NewDecoder(r).Decode(&meta); err != nil {
 		return nil, fmt.Errorf("core: checkpoint meta: %w", err)
 	}
-	if meta.Version != CheckpointVersion {
-		return nil, fmt.Errorf("core: checkpoint version %d, this build reads %d", meta.Version, CheckpointVersion)
+	if meta.Version < 1 || meta.Version > CheckpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, this build reads 1..%d", meta.Version, CheckpointVersion)
 	}
 	c := &Checkpoint{
 		Version:   meta.Version,
+		Kind:      meta.Kind,
+		Cfg:       meta.Cfg,
 		Epoch:     meta.Epoch,
 		Beta:      meta.Beta,
 		LR:        meta.LR,
@@ -234,10 +256,11 @@ func LoadCheckpointFile(path string) (*Checkpoint, error) {
 	return LoadCheckpoint(bufio.NewReader(f))
 }
 
-// checkpoint captures the live training state as a Checkpoint (deep
+// buildCheckpoint captures the live training state as a Checkpoint (deep
 // copies throughout — the snapshot must not alias tensors the next epoch
-// will mutate).
-func (m *Model) checkpoint(opt *nn.Adam, epoch int, h *History, lr float64, rollbacks int, best [][]float64) *Checkpoint {
+// will mutate). The header records the encoder kind and configuration so
+// a resume into the wrong encoder fails with a typed error.
+func buildCheckpoint(m trainable, opt *nn.Adam, epoch int, h *History, lr float64, rollbacks int, best [][]float64) *Checkpoint {
 	ps := m.Params()
 	shapes := make([][2]int, len(ps))
 	params := make([][]float64, len(ps))
@@ -252,8 +275,10 @@ func (m *Model) checkpoint(opt *nn.Adam, epoch int, h *History, lr float64, roll
 	t, am, av := opt.State()
 	return &Checkpoint{
 		Version:   CheckpointVersion,
+		Kind:      m.Kind(),
+		Cfg:       m.trainConfig(),
 		Epoch:     epoch,
-		Beta:      m.beta,
+		Beta:      m.curBeta(),
 		LR:        lr,
 		Rollbacks: rollbacks,
 		AdamT:     t,
@@ -266,11 +291,21 @@ func (m *Model) checkpoint(opt *nn.Adam, epoch int, h *History, lr float64, roll
 	}
 }
 
-// restoreCheckpoint writes a checkpoint back into the live model and
+// applyCheckpoint writes a checkpoint back into the live encoder and
 // optimizer, returning the restored best snapshot and history. It
-// validates the checkpoint against the model architecture so a mismatch
+// validates the checkpoint's encoder kind (ErrEncoderMismatch on
+// disagreement — an empty kind means a version-1 checkpoint, which is
+// always the attention model) and the parameter shapes, so a mismatch
 // fails loudly instead of training from garbage.
-func (m *Model) restoreCheckpoint(c *Checkpoint, opt *nn.Adam) ([][]float64, *History, error) {
+func applyCheckpoint(m trainable, c *Checkpoint, opt *nn.Adam) ([][]float64, *History, error) {
+	kind := c.Kind
+	if kind == "" {
+		kind = AttentionKind
+	}
+	if kind != m.Kind() {
+		return nil, nil, fmt.Errorf("core: checkpoint was written by encoder %q, resuming with %q: %w",
+			kind, m.Kind(), ErrEncoderMismatch)
+	}
 	ps := m.Params()
 	if len(c.Shapes) != len(ps) {
 		return nil, nil, fmt.Errorf("core: checkpoint has %d params, model has %d", len(c.Shapes), len(ps))
@@ -290,7 +325,7 @@ func (m *Model) restoreCheckpoint(c *Checkpoint, opt *nn.Adam) ([][]float64, *Hi
 	if err := opt.SetState(c.AdamT, c.AdamM, c.AdamV); err != nil {
 		return nil, nil, err
 	}
-	m.beta = c.Beta
+	m.setBeta(c.Beta)
 	best := make([][]float64, len(c.Best))
 	for i, b := range c.Best {
 		best[i] = append([]float64(nil), b...)

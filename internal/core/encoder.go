@@ -1,0 +1,341 @@
+package core
+
+import (
+	"bufio"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"traj2hash/internal/geo"
+	"traj2hash/internal/hamming"
+	"traj2hash/internal/nn"
+)
+
+// Encoder is the pluggable trajectory-encoder seam of the library: any
+// implementation maps a GPS trajectory to a dense Euclidean-space
+// embedding and, via the sign convention of Equation 16, to a binary
+// Hamming-space code. The paper's attention model (Model), the
+// training-free GeoPTH-style prototype hasher (GeoPTH), and the CNN over
+// grid rasterizations (CNNEncoder) all implement it; the public Index,
+// the CLI, and the experiment harness are written against this interface
+// and work with any registered kind.
+//
+// Contract (enforced by the cross-encoder contract test):
+//   - Embed is deterministic and returns exactly Dim() values;
+//   - Code(t) equals hamming.FromSigns(Embed(t));
+//   - EmbedAll and EmbedAllParallel agree with per-trajectory Embed, and
+//     EmbedAllParallel is safe for concurrent use while no training step
+//     runs.
+type Encoder interface {
+	// Kind returns the encoder's registry name (see EncoderKinds).
+	Kind() string
+	// Dim returns the embedding width, which equals the configured code
+	// length (Config.HashBits): one sign bit per embedding coordinate.
+	Dim() int
+	// Embed returns the Euclidean-space embedding of a trajectory.
+	Embed(t geo.Trajectory) []float64
+	// EmbedAll embeds a batch sequentially.
+	EmbedAll(ts []geo.Trajectory) [][]float64
+	// EmbedAllParallel embeds a batch across worker goroutines
+	// (workers ≤ 0 uses GOMAXPROCS); output order matches ts.
+	EmbedAllParallel(ts []geo.Trajectory, workers int) [][]float64
+	// Code returns the Hamming-space code sign(Embed(t)).
+	Code(t geo.Trajectory) hamming.Code
+	// CodeAll hashes a batch of trajectories.
+	CodeAll(ts []geo.Trajectory) []hamming.Code
+}
+
+// Trainable is the sub-interface of encoders whose parameters are fitted
+// by the gradient training loop (Section IV-F). Training-free encoders —
+// GeoPTH — deliberately do not implement it; callers that require
+// training should type-assert and fail fast (the CLI train subcommand
+// does exactly that).
+type Trainable interface {
+	Encoder
+	// Params returns the trainable parameter tensors (gradient access).
+	Params() []*nn.Tensor
+	// SetParams overwrites the parameter values from flat per-tensor
+	// slices in Params() order, rejecting length mismatches.
+	SetParams(groups [][]float64) error
+	// Train fits the encoder on the given supervision; a thin wrapper
+	// over TrainCtx with a background context.
+	Train(td TrainData) (*History, error)
+	// TrainCtx is Train honoring cancellation, checkpointing, resume,
+	// and the divergence guard (see Model.TrainCtx for the contract).
+	TrainCtx(ctx context.Context, td TrainData) (*History, error)
+}
+
+// EncoderSaver is implemented by encoders that can persist themselves;
+// SaveEncoder wraps the raw stream in a kind-tagged container so
+// LoadEncoder can dispatch to the right loader.
+type EncoderSaver interface {
+	Encoder
+	// Save writes the encoder's raw serialized form to w.
+	Save(w io.Writer) error
+}
+
+// EncoderFactory builds a fresh encoder of one kind. The study space
+// (grid extents, normalization statistics, prototype pools) is fitted on
+// space, which should cover all data the encoder will see.
+type EncoderFactory func(cfg Config, space []geo.Trajectory) (Encoder, error)
+
+// EncoderLoader reads one kind's raw serialized form (the bytes written
+// by EncoderSaver.Save, without the container header).
+type EncoderLoader func(r io.Reader) (Encoder, error)
+
+// The built-in encoder kinds.
+const (
+	// AttentionKind is the paper's two-channel attention model (Model).
+	AttentionKind = "attention"
+	// GeoPTHKind is the training-free geometric prototype hasher.
+	GeoPTHKind = "geopth"
+	// CNNKind is the convolutional encoder over grid rasterizations.
+	CNNKind = "cnn"
+)
+
+type encoderEntry struct {
+	factory EncoderFactory
+	loader  EncoderLoader
+}
+
+var (
+	encRegMu   sync.RWMutex
+	encoderReg = map[string]encoderEntry{}
+	encAliases = map[string]string{
+		// The paper model predates the interface; accept its old names.
+		"model":     AttentionKind,
+		"traj2hash": AttentionKind,
+	}
+)
+
+// RegisterEncoder makes an encoder kind constructible by name. loader
+// may be nil for kinds without a serialized form. It panics on duplicate
+// registration, mirroring the engine's backend registry.
+func RegisterEncoder(kind string, factory EncoderFactory, loader EncoderLoader) {
+	encRegMu.Lock()
+	defer encRegMu.Unlock()
+	if _, dup := encoderReg[kind]; dup {
+		panic(fmt.Sprintf("core: duplicate encoder kind %q", kind))
+	}
+	encoderReg[kind] = encoderEntry{factory: factory, loader: loader}
+}
+
+// ResolveEncoderKind canonicalizes an encoder kind, following aliases.
+func ResolveEncoderKind(kind string) (string, error) {
+	encRegMu.RLock()
+	defer encRegMu.RUnlock()
+	if a, ok := encAliases[kind]; ok {
+		kind = a
+	}
+	if _, ok := encoderReg[kind]; !ok {
+		return "", fmt.Errorf("core: unknown encoder kind %q (have %v)", kind, encoderKindsLocked())
+	}
+	return kind, nil
+}
+
+// EncoderKinds returns the names of all registered encoder kinds, sorted.
+func EncoderKinds() []string {
+	encRegMu.RLock()
+	defer encRegMu.RUnlock()
+	return encoderKindsLocked()
+}
+
+func encoderKindsLocked() []string {
+	kinds := make([]string, 0, len(encoderReg))
+	for k := range encoderReg {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// NewEncoder builds a fresh encoder of the given (possibly aliased) kind
+// with its study space fitted on space.
+func NewEncoder(kind string, cfg Config, space []geo.Trajectory) (Encoder, error) {
+	canonical, err := ResolveEncoderKind(kind)
+	if err != nil {
+		return nil, err
+	}
+	return encoderEntryFor(canonical).factory(cfg, space)
+}
+
+// encoderEntryFor reads a (known-registered) kind's entry under the lock.
+func encoderEntryFor(canonical string) encoderEntry {
+	encRegMu.RLock()
+	defer encRegMu.RUnlock()
+	return encoderReg[canonical]
+}
+
+// encoderBlob is the kind-tagged container SaveEncoder writes: the kind
+// header dispatches LoadEncoder to the registered loader for the raw
+// bytes that follow.
+type encoderBlob struct {
+	Kind string
+	Raw  []byte
+}
+
+// SaveEncoder writes any serializable encoder to w in the kind-tagged
+// container format LoadEncoder reads.
+func SaveEncoder(w io.Writer, enc Encoder) error {
+	saver, ok := enc.(EncoderSaver)
+	if !ok {
+		return fmt.Errorf("core: encoder kind %q is not serializable", enc.Kind())
+	}
+	var raw bytesBuffer
+	if err := saver.Save(&raw); err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(w).Encode(encoderBlob{Kind: enc.Kind(), Raw: raw.b}); err != nil {
+		return fmt.Errorf("core: save encoder: %w", err)
+	}
+	return nil
+}
+
+// bytesBuffer is a minimal in-memory io.Writer (avoids importing bytes
+// just for a buffer).
+type bytesBuffer struct{ b []byte }
+
+// Write appends p to the buffer; it never fails.
+func (w *bytesBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// LoadEncoder reads an encoder written by SaveEncoder, dispatching on the
+// container's kind header.
+func LoadEncoder(r io.Reader) (Encoder, error) {
+	var blob encoderBlob
+	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return nil, fmt.Errorf("core: load encoder: %w", err)
+	}
+	canonical, err := ResolveEncoderKind(blob.Kind)
+	if err != nil {
+		return nil, err
+	}
+	entry := encoderEntryFor(canonical)
+	if entry.loader == nil {
+		return nil, fmt.Errorf("core: encoder kind %q has no loader", canonical)
+	}
+	return entry.loader(newSliceReader(blob.Raw))
+}
+
+// newSliceReader wraps raw bytes as a buffered reader so gob-based
+// loaders see an io.ByteReader (the same requirement LoadCheckpointFile
+// documents).
+func newSliceReader(b []byte) io.Reader { return bufio.NewReader(&sliceReader{b: b}) }
+
+type sliceReader struct {
+	b   []byte
+	off int
+}
+
+// Read implements io.Reader over the remaining bytes.
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// SaveEncoderFile writes an encoder to path in the container format.
+func SaveEncoderFile(path string, enc Encoder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveEncoder(f, enc); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadEncoderFile reads an encoder from path: first as the kind-tagged
+// container SaveEncoderFile writes, then — for files that predate the
+// encoder interface — as a raw attention-model stream (Model.SaveFile's
+// format), so every model file ever written by this library keeps
+// loading.
+func LoadEncoderFile(path string) (Encoder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	enc, cerr := LoadEncoder(bufio.NewReader(f))
+	if cerr == nil {
+		//lint:ignore errcheck read-only file; the decode already succeeded
+		f.Close()
+		return enc, nil
+	}
+	//lint:ignore errcheck read-only file; falling back to the legacy decode path
+	f.Close()
+	m, merr := LoadFile(path)
+	if merr != nil {
+		return nil, fmt.Errorf("core: %s is neither an encoder container (%v) nor a legacy model file: %w", path, cerr, merr)
+	}
+	return m, nil
+}
+
+// ErrEncoderMismatch is returned (wrapped) when a checkpoint or encoder
+// file records one encoder kind and the caller supplies another — e.g.
+// resuming a CNN training run into the attention model. Callers
+// distinguish it with errors.Is.
+var ErrEncoderMismatch = errors.New("core: encoder kind mismatch")
+
+// setParams copies flat per-tensor value slices into an encoder's
+// parameters, validating lengths — the shared SetParams implementation.
+func setParams(ps []*nn.Tensor, groups [][]float64) error {
+	if len(groups) != len(ps) {
+		return fmt.Errorf("core: SetParams got %d groups, encoder has %d params", len(groups), len(ps))
+	}
+	for i, p := range ps {
+		if len(groups[i]) != len(p.Data) {
+			return fmt.Errorf("core: SetParams group %d has %d values, param wants %d", i, len(groups[i]), len(p.Data))
+		}
+	}
+	for i, p := range ps {
+		copy(p.Data, groups[i])
+	}
+	return nil
+}
+
+// embedAllParallel is the shared EmbedAllParallel implementation for
+// encoders without an autograd forward pass: a bounded worker pool over
+// a shared atomic-free work counter, deterministic output order.
+func embedAllParallel(enc Encoder, ts []geo.Trajectory, workers int) [][]float64 {
+	builders := make([]func() *nn.Tensor, len(ts))
+	for i := range ts {
+		t := ts[i]
+		builders[i] = func() *nn.Tensor { return nn.FromVec(enc.Embed(t)) }
+	}
+	outs := nn.ForwardParallel(workers, builders)
+	vecs := make([][]float64, len(outs))
+	for i, o := range outs {
+		vecs[i] = o.Data
+	}
+	return vecs
+}
+
+// codeAll is the shared CodeAll implementation: one Code per trajectory.
+func codeAll(enc Encoder, ts []geo.Trajectory) []hamming.Code {
+	out := make([]hamming.Code, len(ts))
+	for i, t := range ts {
+		out[i] = enc.Code(t)
+	}
+	return out
+}
+
+// embedAll is the shared sequential EmbedAll implementation.
+func embedAll(enc Encoder, ts []geo.Trajectory) [][]float64 {
+	out := make([][]float64, len(ts))
+	for i, t := range ts {
+		out[i] = enc.Embed(t)
+	}
+	return out
+}

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"traj2hash/internal/hamming"
+)
+
+// newTestEncoder builds one encoder of each registered kind on the shared
+// tiny fixture space.
+func newTestEncoder(t *testing.T, kind string) Encoder {
+	t.Helper()
+	cfg := tinyConfig()
+	space := genTrajs(40, 7)
+	enc, err := NewEncoder(kind, cfg, space)
+	if err != nil {
+		t.Fatalf("NewEncoder(%q): %v", kind, err)
+	}
+	return enc
+}
+
+func TestEncoderRegistry(t *testing.T) {
+	kinds := EncoderKinds()
+	want := []string{AttentionKind, CNNKind, GeoPTHKind}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("EncoderKinds() = %v, want %v", kinds, want)
+	}
+	for alias, canonical := range map[string]string{
+		"model":       AttentionKind,
+		"traj2hash":   AttentionKind,
+		AttentionKind: AttentionKind,
+		GeoPTHKind:    GeoPTHKind,
+		CNNKind:       CNNKind,
+	} {
+		got, err := ResolveEncoderKind(alias)
+		if err != nil {
+			t.Errorf("ResolveEncoderKind(%q): %v", alias, err)
+		} else if got != canonical {
+			t.Errorf("ResolveEncoderKind(%q) = %q, want %q", alias, got, canonical)
+		}
+	}
+	if _, err := ResolveEncoderKind("no-such-encoder"); err == nil {
+		t.Error("unknown encoder kind resolved")
+	}
+	if _, err := NewEncoder("no-such-encoder", tinyConfig(), genTrajs(4, 1)); err == nil {
+		t.Error("NewEncoder accepted an unknown kind")
+	}
+}
+
+// TestEncoderContract is the cross-encoder contract test: every
+// registered encoder must honor the Encoder interface contract the
+// doc comment states.
+func TestEncoderContract(t *testing.T) {
+	for _, kind := range EncoderKinds() {
+		t.Run(kind, func(t *testing.T) {
+			enc := newTestEncoder(t, kind)
+			cfg := tinyConfig()
+			if enc.Kind() != kind {
+				t.Errorf("Kind() = %q, want %q", enc.Kind(), kind)
+			}
+			if enc.Dim() != cfg.HashBits {
+				t.Errorf("Dim() = %d, want HashBits = %d", enc.Dim(), cfg.HashBits)
+			}
+			ts := genTrajs(12, 9)
+
+			// Embed: deterministic, Dim() wide.
+			for _, tr := range ts {
+				e1 := enc.Embed(tr)
+				e2 := enc.Embed(tr)
+				if len(e1) != enc.Dim() {
+					t.Fatalf("Embed returned %d values, want %d", len(e1), enc.Dim())
+				}
+				if !reflect.DeepEqual(e1, e2) {
+					t.Fatal("Embed is not deterministic")
+				}
+				// Code = sign(Embed), code length = configured bits.
+				c := enc.Code(tr)
+				if c.Bits != cfg.HashBits {
+					t.Fatalf("Code has %d bits, want %d", c.Bits, cfg.HashBits)
+				}
+				if !reflect.DeepEqual(c, hamming.FromSigns(e1)) {
+					t.Fatal("Code(t) != sign(Embed(t))")
+				}
+			}
+
+			// Batch forms agree with the per-trajectory forms.
+			seq := enc.EmbedAll(ts)
+			for i, tr := range ts {
+				if !reflect.DeepEqual(seq[i], enc.Embed(tr)) {
+					t.Fatalf("EmbedAll[%d] != Embed", i)
+				}
+			}
+			par := enc.EmbedAllParallel(ts, 4)
+			if !reflect.DeepEqual(par, seq) {
+				t.Error("EmbedAllParallel != EmbedAll")
+			}
+			codes := enc.CodeAll(ts)
+			for i, tr := range ts {
+				if !reflect.DeepEqual(codes[i], enc.Code(tr)) {
+					t.Fatalf("CodeAll[%d] != Code", i)
+				}
+			}
+		})
+	}
+}
+
+// TestEncoderSaveLoadRoundTrip checks the kind-tagged container: every
+// built-in encoder serializes and loads back to identical embeddings.
+func TestEncoderSaveLoadRoundTrip(t *testing.T) {
+	for _, kind := range EncoderKinds() {
+		t.Run(kind, func(t *testing.T) {
+			enc := newTestEncoder(t, kind)
+			var buf bytes.Buffer
+			if err := SaveEncoder(&buf, enc); err != nil {
+				t.Fatal(err)
+			}
+			got, err := LoadEncoder(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Kind() != kind {
+				t.Fatalf("loaded kind %q, want %q", got.Kind(), kind)
+			}
+			ts := genTrajs(6, 11)
+			if !reflect.DeepEqual(got.EmbedAll(ts), enc.EmbedAll(ts)) {
+				t.Error("embeddings changed across a save/load round trip")
+			}
+		})
+	}
+}
+
+// TestLoadEncoderFileLegacyModel checks the migration path: a raw model
+// file written by the pre-interface Model.SaveFile API must load through
+// LoadEncoderFile.
+func TestLoadEncoderFileLegacyModel(t *testing.T) {
+	cfg := tinyConfig()
+	space := genTrajs(40, 7)
+	m, err := New(cfg, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	legacy := filepath.Join(dir, "legacy.gob")
+	if err := m.SaveFile(legacy); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := LoadEncoderFile(legacy)
+	if err != nil {
+		t.Fatalf("legacy model file did not load: %v", err)
+	}
+	if enc.Kind() != AttentionKind {
+		t.Fatalf("legacy file loaded as %q, want %q", enc.Kind(), AttentionKind)
+	}
+	ts := genTrajs(6, 11)
+	if !reflect.DeepEqual(enc.EmbedAll(ts), m.EmbedAll(ts)) {
+		t.Error("legacy load changed embeddings")
+	}
+
+	// And the container format through the same entry point.
+	modern := filepath.Join(dir, "modern.enc")
+	if err := SaveEncoderFile(modern, m); err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := LoadEncoderFile(modern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(enc2.EmbedAll(ts), m.EmbedAll(ts)) {
+		t.Error("container load changed embeddings")
+	}
+
+	if _, err := LoadEncoderFile(filepath.Join(dir, "missing.enc")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+// TestGeoPTHIsTrainingFree pins the design decision that the prototype
+// hasher has no training loop: it must not satisfy Trainable, and an
+// index over it is usable immediately after construction.
+func TestGeoPTHIsTrainingFree(t *testing.T) {
+	enc := newTestEncoder(t, GeoPTHKind)
+	if _, ok := enc.(Trainable); ok {
+		t.Fatal("GeoPTH must not implement Trainable")
+	}
+	// Codes are usable straight away and not degenerate: two far-apart
+	// fixture trajectories should not collide on every bit with
+	// everything else.
+	ts := genTrajs(12, 13)
+	codes := enc.CodeAll(ts)
+	distinct := false
+	for i := 1; i < len(codes); i++ {
+		if hamming.Distance(codes[0], codes[i]) > 0 {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Error("all geopth codes identical; prototype hashing is degenerate")
+	}
+}
+
+// TestCNNTrainable pins that the CNN encoder satisfies the exported
+// Trainable seam and that a short training run completes with finite
+// history through the generic training loop.
+func TestCNNTrainable(t *testing.T) {
+	cfg, space, td := trainFixture(t)
+	cfg.Epochs = 2
+	enc, err := NewEncoder(CNNKind, cfg, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := enc.(Trainable)
+	if !ok {
+		t.Fatal("CNN encoder must implement Trainable")
+	}
+	h, err := tr.Train(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.EpochLoss) != cfg.Epochs {
+		t.Fatalf("trained %d epochs, want %d", len(h.EpochLoss), cfg.Epochs)
+	}
+	if paramsNonFinite(enc.(*CNNEncoder)) {
+		t.Error("CNN training produced non-finite parameters")
+	}
+}
+
+// TestV1CheckpointBitwiseResume is the checkpoint-compat regression test:
+// testdata/checkpoint_v1.ckpt was written by the pre-refactor (version-1)
+// code at the epoch-2 boundary of the shared trainFixture run. Loading it
+// must succeed with an empty Kind, and resuming from it must finish
+// bitwise identical to an uninterrupted run of the refactored code.
+func TestV1CheckpointBitwiseResume(t *testing.T) {
+	ck, err := LoadCheckpointFile(filepath.Join("testdata", "checkpoint_v1.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Version != 1 {
+		t.Fatalf("fixture version %d, want 1", ck.Version)
+	}
+	if ck.Kind != "" {
+		t.Fatalf("v1 fixture has kind %q, want empty (pre-interface format)", ck.Kind)
+	}
+	if ck.Epoch != 2 {
+		t.Fatalf("fixture epoch %d, want 2", ck.Epoch)
+	}
+
+	cfg, space, td := trainFixture(t)
+
+	// Uninterrupted reference run under the refactored loop.
+	m1, err := New(cfg, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := m1.Train(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh model resumed from the v1 on-disk checkpoint.
+	m2, err := New(cfg, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td2 := td
+	td2.Resume = ck
+	h2, err := m2.Train(td2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(paramBits(m1), paramBits(m2)) {
+		t.Error("resume from the v1 checkpoint is not bitwise identical to an uninterrupted run")
+	}
+	if !reflect.DeepEqual(h1.EpochLoss, h2.EpochLoss) {
+		t.Errorf("epoch losses diverged:\nfull   %v\nv1 res %v", h1.EpochLoss, h2.EpochLoss)
+	}
+	if !reflect.DeepEqual(h1.ValHR10, h2.ValHR10) {
+		t.Errorf("validation history diverged:\nfull   %v\nv1 res %v", h1.ValHR10, h2.ValHR10)
+	}
+}
+
+// TestCheckpointRecordsEncoderKind pins the version-2 header: checkpoints
+// written now carry the encoder kind and config.
+func TestCheckpointRecordsEncoderKind(t *testing.T) {
+	cfg, space, td := trainFixture(t)
+	m, err := New(cfg, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *Checkpoint
+	td.CheckpointEvery = 1
+	td.OnCheckpoint = func(c *Checkpoint) error { last = c; return nil }
+	if _, err := m.Train(td); err != nil {
+		t.Fatal(err)
+	}
+	if last == nil {
+		t.Fatal("no checkpoint emitted")
+	}
+	if last.Version != CheckpointVersion {
+		t.Errorf("checkpoint version %d, want %d", last.Version, CheckpointVersion)
+	}
+	if last.Kind != AttentionKind {
+		t.Errorf("checkpoint kind %q, want %q", last.Kind, AttentionKind)
+	}
+	if last.Cfg.HashBits != cfg.HashBits {
+		t.Errorf("checkpoint Cfg.HashBits = %d, want %d", last.Cfg.HashBits, cfg.HashBits)
+	}
+}
+
+// TestResumeRejectsEncoderKindMismatch: resuming an attention-model
+// checkpoint into the CNN encoder must fail with ErrEncoderMismatch, not
+// a shape-mismatch lottery.
+func TestResumeRejectsEncoderKindMismatch(t *testing.T) {
+	cfg, space, td := trainFixture(t)
+	m, err := New(cfg, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *Checkpoint
+	td.CheckpointEvery = 1
+	td.OnCheckpoint = func(c *Checkpoint) error { last = c; return nil }
+	if _, err := m.Train(td); err != nil {
+		t.Fatal(err)
+	}
+
+	cnn, err := NewCNN(cfg, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td2 := td
+	td2.Resume = last
+	_, err = cnn.Train(td2)
+	if err == nil {
+		t.Fatal("CNN resumed from an attention checkpoint")
+	}
+	if !errors.Is(err, ErrEncoderMismatch) {
+		t.Errorf("error %v does not wrap ErrEncoderMismatch", err)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"time"
@@ -126,6 +127,31 @@ func New(cfg Config, space []geo.Trajectory) (*Model, error) {
 	m.proj = nn.NewLinear(cfg.Dim, half, rng)
 	return m, nil
 }
+
+func init() {
+	RegisterEncoder(AttentionKind,
+		func(cfg Config, space []geo.Trajectory) (Encoder, error) { return New(cfg, space) },
+		func(r io.Reader) (Encoder, error) { return Load(r) })
+}
+
+// Kind returns the encoder registry name of the paper's attention model.
+func (m *Model) Kind() string { return AttentionKind }
+
+// Dim returns the embedding width, which equals the code length
+// Config.HashBits (Embed returns h_f of Equation 15, one sign bit per
+// coordinate).
+func (m *Model) Dim() int { return m.Cfg.HashBits }
+
+// SetParams overwrites the trainable parameter values from flat
+// per-tensor slices in Params() order.
+func (m *Model) SetParams(groups [][]float64) error { return setParams(m.Params(), groups) }
+
+// trainable hooks: the generic training loop (train.go) drives any
+// in-package encoder through these.
+func (m *Model) trainConfig() Config  { return m.Cfg }
+func (m *Model) curBeta() float64     { return m.beta }
+func (m *Model) setBeta(b float64)    { m.beta = b }
+func (m *Model) trainRNG() randSource { return m.rng }
 
 // Params returns all trainable parameters (the frozen grid embeddings are
 // excluded by design, Section IV-C).
@@ -293,19 +319,7 @@ func (m *Model) ApproxDistance(a, b geo.Trajectory, theta float64) float64 {
 }
 
 // snapshot copies all parameter values (for best-epoch model selection).
-func (m *Model) snapshot() [][]float64 {
-	ps := m.Params()
-	out := make([][]float64, len(ps))
-	for i, p := range ps {
-		out[i] = append([]float64(nil), p.Data...)
-	}
-	return out
-}
+func (m *Model) snapshot() [][]float64 { return snapshotParams(m) }
 
 // restore writes a snapshot back into the parameters.
-func (m *Model) restore(snap [][]float64) {
-	ps := m.Params()
-	for i, p := range ps {
-		copy(p.Data, snap[i])
-	}
-}
+func (m *Model) restore(snap [][]float64) { restoreParams(m, snap) }

@@ -167,12 +167,60 @@ type randSource interface {
 	Float64() float64
 }
 
+// trainable is what the generic training loop needs from an encoder: the
+// Encoder surface, parameter access, a differentiable forward pass, the
+// tanh(β·) relaxation, and the hyper-parameters/RNG of the run. Its
+// methods are unexported, so implementations live in this package (Model
+// and CNNEncoder); external callers drive training through the exported
+// Trainable interface instead.
+type trainable interface {
+	Encoder
+	Params() []*nn.Tensor
+	trainConfig() Config
+	forward(t geo.Trajectory) *nn.Tensor
+	relaxedCode(hf *nn.Tensor) *nn.Tensor
+	curBeta() float64
+	setBeta(b float64)
+	trainRNG() randSource
+}
+
+// snapshotParams copies all parameter values (for best-epoch model
+// selection and the divergence guard's rollback target).
+func snapshotParams(m trainable) [][]float64 {
+	ps := m.Params()
+	out := make([][]float64, len(ps))
+	for i, p := range ps {
+		out[i] = append([]float64(nil), p.Data...)
+	}
+	return out
+}
+
+// restoreParams writes a snapshot back into the parameters.
+func restoreParams(m trainable, snap [][]float64) {
+	ps := m.Params()
+	for i, p := range ps {
+		copy(p.Data, snap[i])
+	}
+}
+
 // Train runs the end-to-end optimization of Equation 21:
 // L = L_s + γ·(L_r + L_t), with Adam, HashNet β-scheduling, and
 // best-validation-HR@10 model selection (Section V-A5). It is a thin
 // wrapper over TrainCtx with a background context.
 func (m *Model) Train(td TrainData) (*History, error) {
 	return m.TrainCtx(context.Background(), td)
+}
+
+// Train fits the CNN encoder with the same objective and schedule as the
+// paper model; see Model.Train.
+func (c *CNNEncoder) Train(td TrainData) (*History, error) {
+	return c.TrainCtx(context.Background(), td)
+}
+
+// TrainCtx is Train honoring cancellation, checkpointing, resume, and
+// the divergence guard; see Model.TrainCtx for the full contract.
+func (c *CNNEncoder) TrainCtx(ctx context.Context, td TrainData) (*History, error) {
+	return trainLoop(ctx, c, td)
 }
 
 // epochRNG derives the deterministic in-epoch sample stream (anchor
@@ -188,7 +236,7 @@ func epochRNG(seed int64, epoch int) *rand.Rand {
 
 // paramsNonFinite reports whether any trainable parameter holds a NaN or
 // an Inf — the cheap half of the divergence guard.
-func (m *Model) paramsNonFinite() bool {
+func paramsNonFinite(m trainable) bool {
 	for _, p := range m.Params() {
 		for _, v := range p.Data {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
@@ -198,6 +246,9 @@ func (m *Model) paramsNonFinite() bool {
 	}
 	return false
 }
+
+// paramsNonFinite is the method form tests exercise directly.
+func (m *Model) paramsNonFinite() bool { return paramsNonFinite(m) }
 
 // TrainCtx is Train with a failure domain around it:
 //
@@ -215,10 +266,18 @@ func (m *Model) paramsNonFinite() bool {
 //     back to — or the rollback budget exhausted — training returns
 //     ErrDiverged instead of silently emitting NaN metrics.
 func (m *Model) TrainCtx(ctx context.Context, td TrainData) (*History, error) {
-	if len(td.Seeds) < m.Cfg.M+1 {
-		return nil, fmt.Errorf("core: need at least M+1=%d seeds, got %d", m.Cfg.M+1, len(td.Seeds))
+	return trainLoop(ctx, m, td)
+}
+
+// trainLoop is the encoder-generic training loop behind Model.TrainCtx
+// and CNNEncoder.TrainCtx: any in-package trainable — a differentiable
+// forward pass plus parameter access — gets the full Section IV-F
+// optimization with checkpointing, resume, and the divergence guard.
+func trainLoop(ctx context.Context, m trainable, td TrainData) (*History, error) {
+	cfg := m.trainConfig()
+	if len(td.Seeds) < cfg.M+1 {
+		return nil, fmt.Errorf("core: need at least M+1=%d seeds, got %d", cfg.M+1, len(td.Seeds))
 	}
-	cfg := m.Cfg
 	h := &History{}
 	met := newTrainMetrics(td.Metrics)
 
@@ -261,10 +320,10 @@ func (m *Model) TrainCtx(ctx context.Context, td TrainData) (*History, error) {
 	}
 	h.Triplets = len(triplets)
 
-	samples := buildSamples(seedSim, cfg.M, m.rng)
+	samples := buildSamples(seedSim, cfg.M, m.trainRNG())
 	opt := nn.NewAdam(m.Params(), cfg.LR)
 
-	bestSnap := m.snapshot()
+	bestSnap := snapshotParams(m)
 	h.BestHR10 = -1
 	lr := cfg.LR
 	rollbacks := 0
@@ -279,7 +338,7 @@ func (m *Model) TrainCtx(ctx context.Context, td TrainData) (*History, error) {
 	// periodic checkpointing is on.
 	var lastGood *Checkpoint
 	if td.Resume != nil {
-		bs, hr, err := m.restoreCheckpoint(td.Resume, opt)
+		bs, hr, err := applyCheckpoint(m, td.Resume, opt)
 		if err != nil {
 			return nil, fmt.Errorf("core: resume: %w", err)
 		}
@@ -356,7 +415,7 @@ func (m *Model) TrainCtx(ctx context.Context, td TrainData) (*History, error) {
 			if hi > len(anchors) {
 				hi = len(anchors)
 			}
-			loss := m.seedBatchLoss(td.Seeds, seedSim, samples, anchors[lo:hi])
+			loss := seedBatchLoss(m, td.Seeds, seedSim, samples, anchors[lo:hi])
 			if loss == nil {
 				continue
 			}
@@ -370,7 +429,7 @@ func (m *Model) TrainCtx(ctx context.Context, td TrainData) (*History, error) {
 					canceled = true
 					break
 				}
-				loss := m.tripletBatchLoss(td.Corpus, triplets, erng)
+				loss := tripletBatchLoss(m, td.Corpus, triplets, erng)
 				if loss == nil {
 					continue
 				}
@@ -385,13 +444,13 @@ func (m *Model) TrainCtx(ctx context.Context, td TrainData) (*History, error) {
 		if steps > 0 {
 			meanLoss = epochLoss / float64(steps)
 		}
-		hr, hasVal := m.validationHR10(td.Validation, valTruth)
+		hr, hasVal := validationHR10(m, td.Validation, valTruth)
 
 		// Divergence guard: a non-finite epoch never enters the history
 		// and never becomes lastGood — it is rolled back and replayed at
 		// half the learning rate, or surfaced as ErrDiverged when there
 		// is nothing to roll back to.
-		if math.IsNaN(meanLoss) || math.IsInf(meanLoss, 0) || m.paramsNonFinite() || (hasVal && math.IsNaN(hr)) {
+		if math.IsNaN(meanLoss) || math.IsInf(meanLoss, 0) || paramsNonFinite(m) || (hasVal && math.IsNaN(hr)) {
 			if lastGood == nil || rollbacks >= maxRollbacks {
 				h.Diverged = append(h.Diverged, epoch)
 				return h, fmt.Errorf("core: epoch %d went non-finite with no checkpoint to roll back to (rollbacks %d/%d): %w",
@@ -402,7 +461,7 @@ func (m *Model) TrainCtx(ctx context.Context, td TrainData) (*History, error) {
 				met.rollbacks.Inc()
 			}
 			lr *= 0.5
-			bs, hrz, err := m.restoreCheckpoint(lastGood, opt)
+			bs, hrz, err := applyCheckpoint(m, lastGood, opt)
 			if err != nil {
 				return h, fmt.Errorf("core: rollback: %w", err)
 			}
@@ -425,14 +484,14 @@ func (m *Model) TrainCtx(ctx context.Context, td TrainData) (*History, error) {
 		if hr > h.BestHR10 {
 			h.BestHR10 = hr
 			h.BestEpoch = epoch
-			bestSnap = m.snapshot()
+			bestSnap = snapshotParams(m)
 		}
 
 		// HashNet relaxation schedule: β grows each epoch, sharpening
 		// tanh(β·) toward sign(·).
-		m.beta *= cfg.BetaGrowth
+		m.setBeta(m.curBeta() * cfg.BetaGrowth)
 
-		lastGood = m.checkpoint(opt, epoch+1, h, lr, rollbacks, bestSnap)
+		lastGood = buildCheckpoint(m, opt, epoch+1, h, lr, rollbacks, bestSnap)
 		if td.CheckpointEvery > 0 && td.OnCheckpoint != nil && (epoch+1)%td.CheckpointEvery == 0 {
 			if err := td.OnCheckpoint(lastGood); err != nil {
 				return h, fmt.Errorf("core: checkpoint at epoch %d: %w", epoch+1, err)
@@ -442,7 +501,7 @@ func (m *Model) TrainCtx(ctx context.Context, td TrainData) (*History, error) {
 			}
 		}
 	}
-	m.restore(bestSnap)
+	restoreParams(m, bestSnap)
 	return h, nil
 }
 
@@ -453,7 +512,7 @@ const tripletBatchesPerEpoch = 2
 
 // seedBatchLoss builds L_s + γ·L_r (Equations 17 and 19) over a batch of
 // anchors. Returns nil when the batch is empty.
-func (m *Model) seedBatchLoss(seeds []geo.Trajectory, s [][]float64, samples []sampleSet, batch []int) *nn.Tensor {
+func seedBatchLoss(m trainable, seeds []geo.Trajectory, s [][]float64, samples []sampleSet, batch []int) *nn.Tensor {
 	if len(batch) == 0 {
 		return nil
 	}
@@ -479,7 +538,7 @@ func (m *Model) seedBatchLoss(seeds []geo.Trajectory, s [][]float64, samples []s
 		}
 		// L_r: the M samples grouped into M/2 (positive, negative) pairs by
 		// similarity (Equation 19), on the tanh-relaxed codes.
-		if m.Cfg.Gamma > 0 {
+		if m.trainConfig().Gamma > 0 {
 			ui := m.relaxedCode(hi)
 			order := append([]int(nil), set.ids...)
 			row := s[i]
@@ -492,8 +551,8 @@ func (m *Model) seedBatchLoss(seeds []geo.Trajectory, s [][]float64, samples []s
 				}
 				up := m.relaxedCode(embed(p))
 				un := m.relaxedCode(embed(n))
-				hinge := RankingHinge(ui, up, un, m.Cfg.Alpha)
-				terms = append(terms, nn.Scale(hinge, 0.5*m.Cfg.Gamma))
+				hinge := RankingHinge(ui, up, un, m.trainConfig().Alpha)
+				terms = append(terms, nn.Scale(hinge, 0.5*m.trainConfig().Gamma))
 			}
 		}
 	}
@@ -506,12 +565,12 @@ func (m *Model) seedBatchLoss(seeds []geo.Trajectory, s [][]float64, samples []s
 // tripletBatchLoss builds γ·L_t (Equation 20) over a random triplet
 // batch drawn from rng — the per-epoch generator, so the picks belong to
 // the epoch's replayable sample stream (see epochRNG).
-func (m *Model) tripletBatchLoss(corpus []geo.Trajectory, triplets []Triplet, rng randSource) *nn.Tensor {
+func tripletBatchLoss(m trainable, corpus []geo.Trajectory, triplets []Triplet, rng randSource) *nn.Tensor {
 	//lint:ignore floatcompare γ is a user-set hyper-parameter; exactly 0 is the documented "triplet loss off" switch
-	if m.Cfg.Gamma == 0 || len(triplets) == 0 {
+	if m.trainConfig().Gamma == 0 || len(triplets) == 0 {
 		return nil
 	}
-	n := m.Cfg.TripletBatch
+	n := m.trainConfig().TripletBatch
 	if n > len(triplets) {
 		n = len(triplets)
 	}
@@ -527,8 +586,8 @@ func (m *Model) tripletBatchLoss(corpus []geo.Trajectory, triplets []Triplet, rn
 	var terms []*nn.Tensor
 	for b := 0; b < n; b++ {
 		t := triplets[rng.Intn(len(triplets))]
-		hinge := RankingHinge(code(t.Anchor), code(t.Positive), code(t.Negative), m.Cfg.Alpha)
-		terms = append(terms, nn.Scale(hinge, m.Cfg.Gamma))
+		hinge := RankingHinge(code(t.Anchor), code(t.Positive), code(t.Negative), m.trainConfig().Alpha)
+		terms = append(terms, nn.Scale(hinge, m.trainConfig().Gamma))
 	}
 	if len(terms) == 0 {
 		return nil
@@ -558,7 +617,7 @@ func sumTerms(terms []*nn.Tensor) *nn.Tensor {
 // the validation embeddings themselves went non-finite — an explicit
 // divergence signal the guard in TrainCtx acts on, never a value that
 // silently enters the history.
-func (m *Model) validationHR10(val []geo.Trajectory, truth [][]int) (hr float64, ok bool) {
+func validationHR10(m trainable, val []geo.Trajectory, truth [][]int) (hr float64, ok bool) {
 	if len(val) == 0 {
 		return math.NaN(), false
 	}

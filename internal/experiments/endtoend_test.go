@@ -4,6 +4,8 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"traj2hash/internal/core"
 )
 
 // withMicroScale installs the micro test parameters for the duration of a
@@ -110,4 +112,21 @@ func TestEndToEndExtraCDTW(t *testing.T) {
 	// Widening the cDTW band cannot hurt accuracy on the same data (wider
 	// bands approach exact DTW).
 	_ = tbl
+}
+
+func TestEndToEndEncoderRace(t *testing.T) {
+	withMicroScale(t)
+	tbl := runExperiment(t, "encoders", len(core.EncoderKinds()))
+	var geopth []string
+	for _, row := range tbl.Rows {
+		if row[0] == core.GeoPTHKind {
+			geopth = row
+		}
+	}
+	if geopth == nil {
+		t.Fatal("encoder race has no geopth row")
+	}
+	if geopth[1] != "0" {
+		t.Errorf("geopth trained %s steps, want 0 (training-free)", geopth[1])
+	}
 }

@@ -25,6 +25,7 @@ func All() []Experiment {
 		{"fig8", "Figure 8 — margin α sweep", wrap3(Fig8)},
 		{"fig9", "Figure 9 — balance weight γ sweep", wrap3(Fig9)},
 		{"extra-cdtw", "Extra — cDTW band width vs learned embeddings", wrap3(ExtraCDTW)},
+		{"encoders", "Extra — encoder zoo: accuracy vs training and query cost", wrap3(EncoderRace)},
 	}
 }
 

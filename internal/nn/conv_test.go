@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConv3x3Shapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv3x3(4, 3, 2, 5, rng)
+	x := Randn(12, 2, 1, rng)
+	y := c.Forward(x)
+	if y.Rows != 12 || y.Cols != 5 {
+		t.Fatalf("output %dx%d, want 12x5", y.Rows, y.Cols)
+	}
+}
+
+// TestConv3x3CenterTap verifies the convolution arithmetic directly: with
+// a kernel that is 1 only on the center tap of channel 0, the output
+// reproduces the input field.
+func TestConv3x3CenterTap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewConv3x3(3, 3, 1, 1, rng)
+	for i := range c.K.Data {
+		c.K.Data[i] = 0
+	}
+	// Taps run in (dy,dx) row-major order, so the center (0,0) is tap 4.
+	c.K.Data[4] = 1
+	for i := range c.B.Data {
+		c.B.Data[i] = 0
+	}
+	x := Randn(9, 1, 1, rng)
+	y := c.Forward(x)
+	for i := range x.Data {
+		if math.Abs(y.Data[i]-x.Data[i]) > 1e-12 {
+			t.Fatalf("center-tap identity broken at %d: got %v want %v", i, y.Data[i], x.Data[i])
+		}
+	}
+}
+
+// TestConv3x3EdgePadding verifies zero padding: a kernel reading only the
+// (-1,-1) tap must produce 0 at the top-left corner.
+func TestConv3x3EdgePadding(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewConv3x3(3, 3, 1, 1, rng)
+	for i := range c.K.Data {
+		c.K.Data[i] = 0
+	}
+	c.K.Data[0] = 1 // tap (dy=-1,dx=-1)
+	for i := range c.B.Data {
+		c.B.Data[i] = 0
+	}
+	x := Randn(9, 1, 1, rng)
+	y := c.Forward(x)
+	if y.Data[0] != 0 {
+		t.Fatalf("corner should read the zero pad, got %v", y.Data[0])
+	}
+	// Cell (1,1) reads (0,0).
+	if math.Abs(y.Data[4]-x.Data[0]) > 1e-12 {
+		t.Fatalf("cell (1,1) should read (0,0): got %v want %v", y.Data[4], x.Data[0])
+	}
+}
+
+func TestConv3x3GradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := NewConv3x3(3, 4, 2, 3, rng)
+	x := Randn(12, 2, 1, rng)
+	x.SetRequiresGrad(true)
+	params := append(c.Params(), x)
+	build := func() *Tensor { return SumAll(Square(c.Forward(x))) }
+	if worst := GradCheck(params, build, 1e-5); worst > 1e-5 {
+		t.Fatalf("conv gradient check failed: max relative error %v", worst)
+	}
+}

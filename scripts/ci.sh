@@ -12,7 +12,10 @@
 #      and fast, so a broken contract fails the gate before the full
 #      suite spins up. The faultinject metrics tests export a JSON
 #      snapshot artifact to bin/metrics.json (METRICS_JSON_OUT).
-#   6. full test suite under the race detector (the engine's concurrent
+#   6. encoder benchmark artifact — embed/hash ns/op, ops/sec, and allocs
+#      for every registered encoder kind, exported to
+#      bin/BENCH_encoders.json (BENCH_ENCODERS_OUT)
+#   7. full test suite under the race detector (the engine's concurrent
 #      Add/Search tests only mean something with -race)
 #
 # BENCH_obs — the instrumentation overhead guard (not a CI gate:
@@ -75,6 +78,21 @@ METRICS_JSON_OUT="$PWD/bin/metrics.json" \
 }
 [ -s bin/metrics.json ] || {
 	echo "observability: the faultinject metrics stage did not export bin/metrics.json (TestInjectedPanicsMoveMetrics writes it when METRICS_JSON_OUT is set)"
+	exit 1
+}
+
+echo "== encoder benchmark artifact (BENCH_encoders.json)"
+# Perf trajectory of the encoder zoo: ns/op, ops/sec, and allocs for each
+# registered encoder's embed and hash paths (see DESIGN.md "Encoder
+# architecture"). Informational, not a gate — wall-clock numbers are too
+# noisy to fail a build on — but the artifact must exist and be non-empty.
+BENCH_ENCODERS_OUT="$PWD/bin/BENCH_encoders.json" \
+	go test -run TestEncoderBenchArtifact ./internal/core || {
+	echo "encoders: the benchmark artifact stage failed (TestEncoderBenchArtifact writes bin/BENCH_encoders.json when BENCH_ENCODERS_OUT is set)"
+	exit 1
+}
+[ -s bin/BENCH_encoders.json ] || {
+	echo "encoders: bin/BENCH_encoders.json missing or empty"
 	exit 1
 }
 

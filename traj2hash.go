@@ -46,8 +46,20 @@ type Stats = geo.Stats
 // DefaultConfig for the paper's settings.
 type Config = core.Config
 
-// Model is a (trained or untrained) Traj2Hash model.
+// Model is a (trained or untrained) Traj2Hash model — the paper's
+// attention encoder, one of the registered Encoder kinds.
 type Model = core.Model
+
+// Encoder is the pluggable trajectory-encoder seam: anything that maps a
+// trajectory to a Euclidean embedding and a sign-derived Hamming code.
+// NewIndex and NewIndexWith accept any Encoder; see EncoderKinds for the
+// registered kinds and NewEncoder to build one by name.
+type Encoder = core.Encoder
+
+// Trainable is the sub-interface of encoders fitted by the gradient
+// training loop (Model and the CNN encoder). Training-free encoders such
+// as GeoPTH do not implement it.
+type Trainable = core.Trainable
 
 // TrainData is the input of Model.Train: a seed set whose exact pairwise
 // distances supervise the Euclidean space, a validation set for model
@@ -93,6 +105,16 @@ const (
 	CLS        = core.CLS
 )
 
+// The built-in encoder kinds (NewEncoder, the CLI -encoder flag).
+const (
+	// EncoderAttention is the paper's two-channel attention model.
+	EncoderAttention = core.AttentionKind
+	// EncoderGeoPTH is the training-free geometric prototype hasher.
+	EncoderGeoPTH = core.GeoPTHKind
+	// EncoderCNN is the convolutional encoder over grid rasterizations.
+	EncoderCNN = core.CNNKind
+)
+
 // DefaultConfig returns the paper's hyper-parameters at the given latent
 // dimension (the paper uses 64; 16–32 train much faster on CPU).
 func DefaultConfig(dim int) Config { return core.DefaultConfig(dim) }
@@ -107,6 +129,24 @@ func LoadModel(r io.Reader) (*Model, error) { return core.Load(r) }
 
 // LoadModelFile reads a model saved with Model.SaveFile.
 func LoadModelFile(path string) (*Model, error) { return core.LoadFile(path) }
+
+// NewEncoder builds a fresh encoder of the given kind (see the Encoder*
+// constants; the legacy names "model" and "traj2hash" alias the attention
+// model) with its study space fitted on space.
+func NewEncoder(kind string, cfg Config, space []Trajectory) (Encoder, error) {
+	return core.NewEncoder(kind, cfg, space)
+}
+
+// EncoderKinds returns the names of all registered encoder kinds, sorted.
+func EncoderKinds() []string { return core.EncoderKinds() }
+
+// SaveEncoderFile writes any serializable encoder to path in a
+// kind-tagged container format.
+func SaveEncoderFile(path string, enc Encoder) error { return core.SaveEncoderFile(path, enc) }
+
+// LoadEncoderFile reads an encoder written by SaveEncoderFile; files
+// written by the older Model.SaveFile API load as the attention model.
+func LoadEncoderFile(path string) (Encoder, error) { return core.LoadEncoderFile(path) }
 
 // Distance computes the exact trajectory distance f between a and b.
 func Distance(f DistanceFunc, a, b Trajectory) float64 { return dist.Distance(f, a, b) }
