@@ -1,0 +1,212 @@
+// Command benchjson turns `go test -bench -benchmem` output into a JSON
+// artifact and gates allocation counts against a recorded floor.
+//
+// It reads benchmark output on stdin, writes a map of benchmark name to
+// {ns_per_op, bytes_per_op, allocs_per_op} to -out, and — when -floors
+// names a JSON file of benchmark name to maximum allocs/op — fails (exit
+// 1) if any gated benchmark allocates more than its floor or is missing
+// from the input entirely. Wall-clock numbers are recorded but never
+// gated: ns/op is too noisy to fail a build on, allocs/op is exact.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkHotpath' -benchmem -run '^$' ./... |
+//	    benchjson -floors scripts/hotpath_floors.json -out bin/BENCH_hotpath.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result holds the parsed measurements of one benchmark.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	var floorsPath, outPath string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-floors":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(stderr, "benchjson: -floors needs a file argument")
+				return 2
+			}
+			floorsPath = args[i]
+		case "-out":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(stderr, "benchjson: -out needs a file argument")
+				return 2
+			}
+			outPath = args[i]
+		default:
+			fmt.Fprintf(stderr, "benchjson: unknown argument %q (want -floors FILE, -out FILE)\n", args[i])
+			return 2
+		}
+	}
+
+	results, err := parseBench(stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines found in input")
+		return 2
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: encode artifact: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchjson: write artifact: %v\n", err)
+			return 2
+		}
+	}
+
+	if floorsPath == "" {
+		return 0
+	}
+	floors, err := loadFloors(floorsPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	violations := checkFloors(results, floors)
+	for _, v := range violations {
+		fmt.Fprintln(stderr, "benchjson: "+v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(stderr, "benchjson: %d allocation floor violation(s) — the //perf:hotpath contract regressed; floors live in %s\n",
+			len(violations), floorsPath)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchjson: %d benchmarks recorded, %d allocation floors hold\n", len(results), len(floors))
+	return 0
+}
+
+// parseBench extracts benchmark results from `go test -bench -benchmem`
+// output. A benchmark line looks like
+//
+//	BenchmarkHotpathTopKSelect-4   100   48733 ns/op   20 B/op   0 allocs/op
+//
+// (the -4 GOMAXPROCS suffix is stripped). Non-benchmark lines are
+// ignored; duplicate names (e.g. from -count) keep the last measurement.
+func parseBench(r io.Reader) (map[string]result, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("read input: %w", err)
+	}
+	out := make(map[string]result)
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count; e.g. "BenchmarkX ... FAIL"
+		}
+		var res result
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				seen = true
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if seen {
+			out[trimCPUSuffix(fields[0])] = res
+		}
+	}
+	return out, nil
+}
+
+// trimCPUSuffix removes the trailing -<GOMAXPROCS> that go test appends
+// to benchmark names.
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// loadFloors reads the benchmark-name → max-allocs/op map. Keys starting
+// with "_" are documentation (JSON has no comments) and are skipped;
+// every other value must be a number.
+func loadFloors(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read floors: %w", err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("parse floors %s: %w", path, err)
+	}
+	floors := make(map[string]float64, len(raw))
+	for name, msg := range raw {
+		if strings.HasPrefix(name, "_") {
+			continue
+		}
+		var v float64
+		if err := json.Unmarshal(msg, &v); err != nil {
+			return nil, fmt.Errorf("parse floors %s: entry %q is not a number: %w", path, name, err)
+		}
+		floors[name] = v
+	}
+	return floors, nil
+}
+
+// checkFloors returns one message per violation: a gated benchmark that
+// allocated above its floor, or that is missing from the results (a
+// rename or deletion must update the floors file, not silently drop the
+// gate).
+func checkFloors(results map[string]result, floors map[string]float64) []string {
+	names := make([]string, 0, len(floors))
+	for name := range floors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []string
+	for _, name := range names {
+		res, ok := results[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: gated by a floor but absent from the benchmark output", name))
+			continue
+		}
+		if res.AllocsPerOp > floors[name] {
+			out = append(out, fmt.Sprintf("%s: %.0f allocs/op exceeds the recorded floor of %.0f",
+				name, res.AllocsPerOp, floors[name]))
+		}
+	}
+	return out
+}

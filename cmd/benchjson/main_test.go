@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: traj2hash/internal/topk
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkHotpathTopKSelect-4   	     100	     48733 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	traj2hash/internal/topk	0.009s
+pkg: traj2hash/internal/core
+BenchmarkHotpathEmbedAll 	      50	    949201 ns/op	 1255685 B/op	    4282 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	sel, ok := got["BenchmarkHotpathTopKSelect"]
+	if !ok {
+		t.Fatal("CPU suffix not stripped from BenchmarkHotpathTopKSelect-4")
+	}
+	if sel.NsPerOp != 48733 || sel.AllocsPerOp != 0 || sel.BytesPerOp != 0 {
+		t.Errorf("TopKSelect parsed as %+v", sel)
+	}
+	emb := got["BenchmarkHotpathEmbedAll"]
+	if emb.NsPerOp != 949201 || emb.AllocsPerOp != 4282 || emb.BytesPerOp != 1255685 {
+		t.Errorf("EmbedAll parsed as %+v", emb)
+	}
+}
+
+func TestParseBenchIgnoresNonBenchLines(t *testing.T) {
+	got, err := parseBench(strings.NewReader("PASS\nok pkg 0.1s\nBenchmarkBroken FAIL\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %d benchmarks from noise, want 0", len(got))
+	}
+}
+
+func TestTrimCPUSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-4":      "BenchmarkX",
+		"BenchmarkX-16":     "BenchmarkX",
+		"BenchmarkX":        "BenchmarkX",
+		"BenchmarkTop-K-8":  "BenchmarkTop-K",
+		"BenchmarkOdd-name": "BenchmarkOdd-name",
+	}
+	for in, want := range cases {
+		if got := trimCPUSuffix(in); got != want {
+			t.Errorf("trimCPUSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCheckFloors(t *testing.T) {
+	results := map[string]result{
+		"BenchmarkA": {AllocsPerOp: 0},
+		"BenchmarkB": {AllocsPerOp: 7},
+	}
+	if v := checkFloors(results, map[string]float64{"BenchmarkA": 0, "BenchmarkB": 10}); len(v) != 0 {
+		t.Errorf("floors hold but got violations: %v", v)
+	}
+	v := checkFloors(results, map[string]float64{"BenchmarkB": 5, "BenchmarkGone": 0})
+	if len(v) != 2 {
+		t.Fatalf("want 2 violations (over floor + missing), got %v", v)
+	}
+	if !strings.Contains(v[0], "exceeds") || !strings.Contains(v[1], "absent") {
+		t.Errorf("violations sorted/worded unexpectedly: %v", v)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	floors := filepath.Join(dir, "floors.json")
+	out := filepath.Join(dir, "BENCH.json")
+	if err := os.WriteFile(floors, []byte(`{"_comment":"doc","BenchmarkHotpathTopKSelect":0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-floors", floors, "-out", out},
+		strings.NewReader(sampleBench), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var artifact map[string]result
+	if err := json.Unmarshal(data, &artifact); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(artifact) != 2 {
+		t.Errorf("artifact holds %d entries, want 2", len(artifact))
+	}
+
+	// A floor below the measured allocs must fail with exit 1.
+	if err := os.WriteFile(floors, []byte(`{"BenchmarkHotpathEmbedAll":100}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	code = run([]string{"-floors", floors}, strings.NewReader(sampleBench), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("regression not detected: exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "exceeds the recorded floor") {
+		t.Errorf("stderr missing violation message: %s", stderr.String())
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-bogus"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run(nil, strings.NewReader("no benchmarks here\n"), &stdout, &stderr); code != 2 {
+		t.Errorf("empty input: exit %d, want 2", code)
+	}
+	if code := run([]string{"-floors", "/nonexistent/floors.json"},
+		strings.NewReader(sampleBench), &stdout, &stderr); code != 2 {
+		t.Errorf("missing floors file: exit %d, want 2", code)
+	}
+}

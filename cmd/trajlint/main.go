@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"traj2hash/internal/analysis"
 )
@@ -42,7 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fixFlag := fs.Bool("fix", false, "apply suggested fixes, then re-analyze and report what remains")
 	cacheFlag := fs.String("cache", "", "diagnostic cache directory (empty disables the cache)")
 	jobsFlag := fs.Int("jobs", 0, "analysis parallelism (0 = GOMAXPROCS)")
-	statsFlag := fs.Bool("stats", false, "report package and cache-hit counts on stderr")
+	statsFlag := fs.Bool("stats", false, "report package/cache counts and per-rule timing on stderr")
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -79,8 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *statsFlag {
-		fmt.Fprintf(stderr, "trajlint: %d package(s), %d cached, %d analyzed\n",
-			stats.Packages, stats.CacheHits, stats.CacheMisses)
+		printStats(stderr, stats)
 	}
 
 	if *fixFlag {
@@ -130,6 +130,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// printStats reports package/cache counts and, for cold packages,
+// per-rule wall time sorted slowest-first — which is where the perf
+// rules' compiler invocations show up, and why a warm cache run prints
+// an empty timing table.
+func printStats(w io.Writer, stats analysis.DriverStats) {
+	fmt.Fprintf(w, "trajlint: %d package(s), %d cached, %d analyzed\n",
+		stats.Packages, stats.CacheHits, stats.CacheMisses)
+	if len(stats.RuleTime) == 0 {
+		return
+	}
+	type rt struct {
+		name string
+		d    time.Duration
+	}
+	var rts []rt
+	for name, d := range stats.RuleTime {
+		rts = append(rts, rt{name, d})
+	}
+	sort.Slice(rts, func(i, j int) bool {
+		if rts[i].d != rts[j].d {
+			return rts[i].d > rts[j].d
+		}
+		return rts[i].name < rts[j].name
+	})
+	fmt.Fprintf(w, "trajlint: rule timing (cold packages only):\n")
+	for _, r := range rts {
+		fmt.Fprintf(w, "  %-14s %v\n", r.name, r.d.Round(time.Microsecond))
+	}
+}
+
 // relativize rewrites absolute diagnostic paths relative to the working
 // directory, keeping output stable across checkouts.
 func relativize(diags []analysis.Diagnostic) {
@@ -177,5 +207,12 @@ Suppressions (reason is mandatory; a missing reason, an unknown rule, or
 a suppression that no longer matches any finding is itself a diagnostic):
   //lint:ignore <rule> <reason>        suppresses <rule> on this line and the next
   //lint:file-ignore <rule> <reason>   suppresses <rule> in the whole file
+
+Performance contracts (reason is mandatory; the directive must sit in a
+function's doc comment — anywhere else it is a diagnostic):
+  //perf:hotpath <reason>   the function must stay allocation-free and
+                            bounds-check-free in loops; enforced by the
+                            hotpathalloc, hotpathbce, and allocinloop
+                            rules against real compiler diagnostics
 `)
 }

@@ -16,6 +16,17 @@
 //	exporteddoc   — the public facade stays documented
 //	ctxfirst      — context.Context is the first parameter, never a field
 //
+// On top of those, three performance-contract rules enforce the
+// //perf:hotpath directive (see perfdirective.go and perfdiag.go):
+//
+//	hotpathalloc  — marked functions are heap-allocation-free (compiler
+//	                escape analysis is the oracle), including their
+//	                module-local callees
+//	hotpathbce    — no bounds checks survive BCE inside marked loops
+//	allocinloop   — no per-iteration allocation idioms (append without
+//	                cap, fmt.*, string concat, make/new, interface
+//	                boxing) inside marked loops, judged syntactically
+//
 // Deliberate violations are suppressed in place with
 //
 //	//lint:ignore <rule> <reason>       (this line and the next)
@@ -31,6 +42,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding: a position, the rule that fired, a
@@ -112,6 +124,9 @@ func Rules() []*Rule {
 		ruleErrcheck,
 		ruleLockOrder,
 		ruleGoroutineLeak,
+		ruleHotpathAlloc,
+		ruleHotpathBCE,
+		ruleAllocInLoop,
 	}
 }
 
@@ -162,12 +177,25 @@ func Run(pkgs []*Package, rules []*Rule) []Diagnostic {
 }
 
 // runPackage is one package's full analysis: rules, suppression
-// filtering, directive validation, and the staleness scan. The result is
-// unsorted; it is also exactly what the driver caches per package.
+// filtering, directive validation (both //lint: and //perf:), and the
+// staleness scan. The result is unsorted; it is also exactly what the
+// driver caches per package.
 func runPackage(pkg *Package, rules []*Rule) []Diagnostic {
+	return runPackageObserved(pkg, rules, nil)
+}
+
+// runPackageObserved is runPackage with an optional per-rule timing
+// callback (nil to skip). The driver uses it for `trajlint -stats`;
+// observe must be safe for concurrent use, since the driver analyzes
+// packages in parallel.
+func runPackageObserved(pkg *Package, rules []*Rule, observe func(rule string, d time.Duration)) []Diagnostic {
 	var raw []Diagnostic
 	for _, r := range rules {
+		start := time.Now()
 		r.Run(&Pass{Rule: r, Pkg: pkg, diags: &raw})
+		if observe != nil {
+			observe(r.Name, time.Since(start))
+		}
 	}
 	selected := make(map[string]bool, len(rules))
 	for _, r := range rules {
@@ -182,6 +210,7 @@ func runPackage(pkg *Package, rules []*Rule) []Diagnostic {
 	}
 	diags = append(diags, directiveDiags...)
 	diags = append(diags, sup.stale(pkg, selected)...)
+	diags = append(diags, collectPerfDirectives(pkg)...)
 	return diags
 }
 

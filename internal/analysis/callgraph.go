@@ -1,0 +1,68 @@
+package analysis
+
+// Cross-function resolution shared by the module-aware rules. lockorder
+// (PR 4) walks from a call expression to the callee's declaration —
+// possibly in an already-loaded dependency package — to propagate lock
+// acquisitions; the perf rules (hotpathalloc) reuse the same walk to
+// attribute heap allocations of non-inlined callees back to the hot
+// call site. The per-package *types.Func → *ast.FuncDecl index is built
+// lazily once and memoized on the Package.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FuncDeclOf locates the declaration of a module function: in this
+// package, or in an already-loaded module dependency (dependencies load
+// before their importers, so every module-local callee is resolvable).
+// Returns (nil, nil) for functions outside the module or without bodies.
+func (p *Package) FuncDeclOf(fn *types.Func) (*Package, *ast.FuncDecl) {
+	if fn == nil || fn.Pkg() == nil {
+		return nil, nil
+	}
+	var pkg *Package
+	switch path := fn.Pkg().Path(); {
+	case path == p.Path:
+		pkg = p
+	default:
+		pkg = p.Dep(path)
+	}
+	if pkg == nil {
+		return nil, nil
+	}
+	return pkg, pkg.declIndex()[fn]
+}
+
+// declIndex returns the package's *types.Func → declaration map,
+// building it on first use. Analysis passes run concurrently across
+// packages but each package's own pass is sequential; cross-package
+// reads go through the sync.Once so dependency indexes build safely
+// under the parallel driver.
+func (p *Package) declIndex() map[*types.Func]*ast.FuncDecl {
+	p.declOnce.Do(func() {
+		idx := map[*types.Func]*ast.FuncDecl{}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != nil {
+					if def, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+						idx[def] = fd
+					}
+				}
+			}
+		}
+		p.declIdx = idx
+	})
+	return p.declIdx
+}
+
+// isModuleFunc reports whether fn is declared inside the module rooted
+// at modulePath (so its body is available to analyze).
+func isModuleFunc(fn *types.Func, modulePath string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == modulePath || strings.HasPrefix(path, modulePath+"/")
+}

@@ -35,6 +35,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // cacheFormat versions the cache entry encoding; bump it when the
@@ -61,6 +62,11 @@ type DriverStats struct {
 	// cache; CacheMisses counts packages loaded and analyzed fresh. With
 	// caching disabled every package is a miss.
 	CacheHits, CacheMisses int
+	// RuleTime accumulates wall time per rule across every cold package
+	// (cache hits replay diagnostics without running rules, so they add
+	// nothing). `trajlint -stats` prints it; the perf rules' compile
+	// time shows up here, which is how a warm cache is visibly cheaper.
+	RuleTime map[string]time.Duration
 }
 
 func (d *Driver) jobs() int {
@@ -113,6 +119,13 @@ func (d *Driver) Run(patterns []string) ([]Diagnostic, DriverStats, error) {
 		}
 	}
 	results := make([][]Diagnostic, len(pkgs))
+	stats.RuleTime = map[string]time.Duration{}
+	var timeMu sync.Mutex
+	observe := func(rule string, dur time.Duration) {
+		timeMu.Lock()
+		defer timeMu.Unlock()
+		stats.RuleTime[rule] += dur
+	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, d.jobs())
 	for i := range pkgs {
@@ -121,7 +134,7 @@ func (d *Driver) Run(patterns []string) ([]Diagnostic, DriverStats, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i] = runPackage(pkgs[i], d.Rules)
+			results[i] = runPackageObserved(pkgs[i], d.Rules, observe)
 		}(i)
 	}
 	wg.Wait()

@@ -38,9 +38,14 @@ type Package struct {
 	TypeErrors []error
 
 	// loader points back at the Loader that produced this package, so
-	// module-aware rules (lockorder) can reach the syntax of already
-	// loaded dependency packages.
+	// module-aware rules (lockorder, the perf rules) can reach the
+	// syntax of already loaded dependency packages and the module root.
 	loader *Loader
+
+	// declOnce/declIdx lazily memoize the *types.Func → declaration
+	// index shared by the cross-function rules (see callgraph.go).
+	declOnce sync.Once
+	declIdx  map[*types.Func]*ast.FuncDecl
 }
 
 // Dep returns the already-loaded module-local package at the given import

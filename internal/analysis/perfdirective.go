@@ -1,0 +1,157 @@
+package analysis
+
+// The //perf:hotpath directive: a function-level performance contract.
+//
+//	//perf:hotpath <reason>
+//
+// placed in a function's doc comment marks the function as a serving
+// hot path whose loops must stay heap-allocation-free and (where the
+// compiler can prove it) bounds-check-free. The three perf rules —
+// hotpathalloc, hotpathbce, allocinloop — read these marks; the
+// directive itself is validated here exactly like //lint:ignore is in
+// suppress.go: a reason is mandatory, the directive must be attached to
+// a function declaration, and anything else (reasonless, misplaced,
+// unknown //perf: verb) is a diagnostic under the "directive"
+// pseudo-rule carrying a mechanical delete fix.
+//
+// A well-formed directive on a function that currently produces no
+// compiler diagnostics is NOT stale: the mark is a standing contract
+// (the clean state is the goal), unlike a //lint:ignore which exists
+// only to excuse a live finding.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+)
+
+const perfPrefix = "perf:"
+const perfHotpath = "perf:hotpath"
+
+// hotpathFunc is one function carrying a well-formed //perf:hotpath
+// directive.
+type hotpathFunc struct {
+	decl   *ast.FuncDecl
+	reason string
+	pos    token.Pos // position of the directive comment
+}
+
+// hotpathFuncs returns the package's well-formed hotpath marks in file
+// order. Malformed directives are excluded here (collectPerfDirectives
+// reports them); a function with only a malformed mark is not a hot
+// path.
+func hotpathFuncs(pkg *Package) []hotpathFunc {
+	var out []hotpathFunc
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				text, ok := perfDirectiveText(c.Text)
+				if !ok || !isHotpathDirective(text) {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(text, perfHotpath))
+				if reason == "" {
+					continue // reported by collectPerfDirectives
+				}
+				out = append(out, hotpathFunc{decl: fd, reason: reason, pos: c.Pos()})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// collectPerfDirectives validates every //perf: comment in the package:
+// a directive with an unknown verb, without a reason, or not attached to
+// a function declaration's doc comment is a "directive" diagnostic with
+// a fix that deletes it (whole line when it stands alone), mirroring the
+// stale-suppression behavior of suppress.go.
+func collectPerfDirectives(pkg *Package) []Diagnostic {
+	// Comments that are part of some FuncDecl's doc group are attached;
+	// every other //perf: comment is misplaced.
+	attached := map[*ast.Comment]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					attached[c] = fd
+				}
+			}
+		}
+	}
+	var diags []Diagnostic
+	report := func(c *ast.Comment, format string, args ...any) {
+		pos := pkg.Fset.Position(c.Pos())
+		var fix *Fix
+		if src, err := os.ReadFile(pos.Filename); err == nil {
+			edit := lineEditIn(pkg.Fset, c.Pos(), src)
+			start := pos.Offset
+			if strings.TrimSpace(string(src[edit.Start:start])) != "" {
+				edit = Edit{File: pos.Filename, Start: start, End: pkg.Fset.Position(c.End()).Offset}
+			}
+			fix = &Fix{Message: "delete the malformed perf directive", Edits: []Edit{edit}}
+		}
+		diags = append(diags, Diagnostic{
+			Pos: pos, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Rule: DirectiveRule, Fix: fix,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := perfDirectiveText(c.Text)
+				if !ok {
+					continue
+				}
+				if !isHotpathDirective(text) {
+					report(c, "unknown //perf: directive %q (want //perf:hotpath <reason>); delete it", text)
+					continue
+				}
+				if _, ok := attached[c]; !ok {
+					report(c, "//perf:hotpath directive is not a function's doc comment — the contract is function-level; move it onto the hot function or delete it")
+					continue
+				}
+				if strings.TrimSpace(strings.TrimPrefix(text, perfHotpath)) == "" {
+					report(c, "//perf:hotpath needs a written reason: //perf:hotpath <why this function must stay allocation-free>")
+					continue
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// isHotpathDirective reports whether a //perf: payload is the hotpath
+// verb — exactly "perf:hotpath", optionally followed by whitespace and
+// a reason ("perf:hotpathfoo" is an unknown verb, not a reason).
+func isHotpathDirective(text string) bool {
+	if !strings.HasPrefix(text, perfHotpath) {
+		return false
+	}
+	rest := text[len(perfHotpath):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// perfDirectiveText extracts the "perf:..." payload from a comment, if
+// any (same normalization as directiveText for //lint:).
+func perfDirectiveText(comment string) (string, bool) {
+	var body string
+	switch {
+	case strings.HasPrefix(comment, "//"):
+		body = comment[2:]
+	case strings.HasPrefix(comment, "/*"):
+		body = strings.TrimSuffix(comment[2:], "*/")
+	}
+	body = strings.TrimSpace(body)
+	if strings.HasPrefix(body, perfPrefix) {
+		return body, true
+	}
+	return "", false
+}

@@ -53,7 +53,6 @@ type lockAnalyzer struct {
 	p          *Pass
 	summaries  map[*types.Func]*lockSummary
 	inProgress map[*types.Func]bool
-	declIndex  map[*Package]map[*types.Func]*ast.FuncDecl
 	edges      map[[2]string]*lockEdge
 }
 
@@ -62,7 +61,6 @@ func runLockOrder(p *Pass) {
 		p:          p,
 		summaries:  map[*types.Func]*lockSummary{},
 		inProgress: map[*types.Func]bool{},
-		declIndex:  map[*Package]map[*types.Func]*ast.FuncDecl{},
 		edges:      map[[2]string]*lockEdge{},
 	}
 	for _, f := range p.Pkg.Files {
@@ -95,7 +93,7 @@ func (a *lockAnalyzer) summarize(fn *types.Func) *lockSummary {
 	defer func() { a.inProgress[fn] = false }()
 
 	s := &lockSummary{acquired: map[string]token.Pos{}}
-	pkg, decl := a.funcDeclOf(fn)
+	pkg, decl := a.p.Pkg.FuncDeclOf(fn)
 	if decl != nil && decl.Body != nil {
 		a.analyzeBodyInto(pkg, decl, decl.Body, s.acquired)
 	}
@@ -169,7 +167,7 @@ func (a *lockAnalyzer) analyzeBodyInto(pkg *Package, decl *ast.FuncDecl, body *a
 			}
 			// A call to a module function: its transitive acquisitions
 			// nest under everything currently held.
-			if callee := calleeFunc(pkg, n); callee != nil && a.isModuleFunc(callee) {
+			if callee := calleeFunc(pkg, n); callee != nil && isModuleFunc(callee, a.p.Pkg.Module) {
 				sum := a.summarize(callee)
 				for id := range sum.acquired {
 					for _, h := range heldLocks {
@@ -201,51 +199,6 @@ func (a *lockAnalyzer) addEdge(from, to string, pos token.Pos, inPkg bool) {
 		return
 	}
 	a.edges[key] = &lockEdge{from: from, to: to, pos: pos, inPkg: inPkg}
-}
-
-// isModuleFunc reports whether fn is declared in this module (its body is
-// available to summarize).
-func (a *lockAnalyzer) isModuleFunc(fn *types.Func) bool {
-	pkg := fn.Pkg()
-	if pkg == nil {
-		return false
-	}
-	mod := a.p.Pkg.Module
-	return pkg.Path() == mod || strings.HasPrefix(pkg.Path(), mod+"/")
-}
-
-// funcDeclOf locates the FuncDecl of a module function, in this package
-// or an already-loaded dependency.
-func (a *lockAnalyzer) funcDeclOf(fn *types.Func) (*Package, *ast.FuncDecl) {
-	var pkg *Package
-	path := ""
-	if fn.Pkg() != nil {
-		path = fn.Pkg().Path()
-	}
-	switch {
-	case path == a.p.Pkg.Path:
-		pkg = a.p.Pkg
-	default:
-		pkg = a.p.Pkg.Dep(path)
-	}
-	if pkg == nil {
-		return nil, nil
-	}
-	idx, ok := a.declIndex[pkg]
-	if !ok {
-		idx = map[*types.Func]*ast.FuncDecl{}
-		for _, f := range pkg.Files {
-			for _, d := range f.Decls {
-				if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != nil {
-					if def, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
-						idx[def] = fd
-					}
-				}
-			}
-		}
-		a.declIndex[pkg] = idx
-	}
-	return pkg, idx[fn]
 }
 
 // calleeFunc resolves a call to its *types.Func (named functions and

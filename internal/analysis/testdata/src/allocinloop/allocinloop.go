@@ -1,0 +1,57 @@
+// Package allocinloop seeds the per-iteration allocation idioms the
+// allocinloop rule recognizes syntactically (no compiler needed), plus
+// the ownership patterns it must exempt.
+package allocinloop
+
+import "fmt"
+
+// Seeded is hot; its loop body performs every allocation idiom the rule
+// knows.
+//
+//perf:hotpath fixture: seeded violations
+func Seeded(keys []string, n int) string {
+	var out []int
+	s := ""
+	for i := 0; i < n; i++ {
+		out = append(out, i)        // want:allocinloop
+		s += keys[i]                // want:allocinloop
+		msg := "k" + keys[i]        // want:allocinloop
+		buf := make([]byte, 0, n)   // want:allocinloop
+		p := new(int)               // want:allocinloop
+		v := any(i)                 // want:allocinloop
+		fmt.Println(msg, buf, p, v) // want:allocinloop
+	}
+	return s
+}
+
+// Exempt is hot but allocation-clean under the rule's ownership model:
+// appends into caller-provided storage, a make-with-size local, and a
+// reslice all inherit preallocated capacity.
+//
+//perf:hotpath fixture: exempt ownership patterns
+func Exempt(dst []int, scratch []byte, n int) []int {
+	pre := make([]int, 0, n)
+	tmp := scratch[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, i) // param: the caller owns the capacity
+		pre = append(pre, i) // make-with-size local
+		tmp = append(tmp, byte(i))
+	}
+	_ = tmp
+	return append(dst, pre...)
+}
+
+// cold runs the same idioms without a //perf:hotpath mark: the rule has
+// no jurisdiction here.
+func cold(keys []string, n int) string {
+	s := ""
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+		s += keys[i]
+	}
+	_ = out
+	return s
+}
+
+var _ = cold

@@ -257,18 +257,31 @@ func (m *Model) Embed(t geo.Trajectory) []float64 {
 	return v
 }
 
-// EmbedAll embeds a batch of trajectories.
+// EmbedAll embeds a batch of trajectories. Every vector shares one flat
+// backing array sized on the first forward pass — two allocations for
+// the write path of the whole batch instead of one per trajectory. (The
+// forward passes themselves build gradient graphs and remain the
+// documented allocation floor of batch embedding; see the EmbedAll
+// benchmark in model_bench_test.go.)
 func (m *Model) EmbedAll(ts []geo.Trajectory) [][]float64 {
 	out := make([][]float64, len(ts))
+	var flat []float64
 	for i, t := range ts {
-		out[i] = m.Embed(t)
+		e := m.forward(t)
+		if flat == nil {
+			flat = make([]float64, len(ts)*len(e.Data))
+		}
+		d := len(e.Data)
+		v := flat[i*d : i*d : (i+1)*d]
+		out[i] = append(v, e.Data...)
 	}
 	return out
 }
 
 // EmbedAllParallel embeds a batch across worker goroutines (workers ≤ 0
 // uses GOMAXPROCS). Forward passes only read the parameters, so this is
-// safe whenever no training step runs concurrently.
+// safe whenever no training step runs concurrently. As in EmbedAll, the
+// result vectors share one flat backing array.
 func (m *Model) EmbedAllParallel(ts []geo.Trajectory, workers int) [][]float64 {
 	builders := make([]func() *nn.Tensor, len(ts))
 	for i := range ts {
@@ -277,10 +290,14 @@ func (m *Model) EmbedAllParallel(ts []geo.Trajectory, workers int) [][]float64 {
 	}
 	outs := nn.ForwardParallel(workers, builders)
 	vecs := make([][]float64, len(outs))
+	var flat []float64
 	for i, o := range outs {
-		v := make([]float64, len(o.Data))
-		copy(v, o.Data)
-		vecs[i] = v
+		if flat == nil {
+			flat = make([]float64, len(outs)*len(o.Data))
+		}
+		d := len(o.Data)
+		v := flat[i*d : i*d : (i+1)*d]
+		vecs[i] = append(v, o.Data...)
 	}
 	return vecs
 }

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEmbedAllMatchesEmbed checks that the flat-backed batch path
+// produces exactly the per-trajectory Embed vectors.
+func TestEmbedAllMatchesEmbed(t *testing.T) {
+	trajs := genTrajs(6, 41)
+	m, err := New(tinyConfig(), trajs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.EmbedAll(trajs)
+	if len(got) != len(trajs) {
+		t.Fatalf("got %d vectors, want %d", len(got), len(trajs))
+	}
+	for i, tr := range trajs {
+		want := m.Embed(tr)
+		if len(got[i]) != len(want) {
+			t.Fatalf("vector %d: got %d dims, want %d", i, len(got[i]), len(want))
+		}
+		for j := range want {
+			if math.Abs(got[i][j]-want[j]) > 1e-12 {
+				t.Fatalf("vector %d dim %d: got %v, want %v", i, j, got[i][j], want[j])
+			}
+		}
+	}
+}
+
+// BenchmarkHotpathEmbedAll measures batch embedding end to end. The
+// write path of the batch costs two allocations total (the [][]float64
+// spine and one flat backing array); the forward passes build gradient
+// graphs and remain the documented allocation floor — allocs/op here
+// tracks that floor, locked in by scripts/hotpath_floors.json rather
+// than a zero-alloc assertion.
+func BenchmarkHotpathEmbedAll(b *testing.B) {
+	trajs := genTrajs(8, 43)
+	m, err := New(tinyConfig(), trajs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EmbedAll(trajs)
+	}
+}

@@ -4,39 +4,55 @@
 package eval
 
 import (
-	"sort"
-
 	"traj2hash/internal/dist"
 	"traj2hash/internal/geo"
+	"traj2hash/internal/topk"
 )
 
 // TopK returns the indices of the k smallest values in row, ties broken by
-// index. k is clamped to len(row).
+// index. k is clamped to len(row). The result is freshly allocated; the
+// experiment harness's ground-truth loop uses TopKInto with reused state
+// instead.
 func TopK(row []float64, k int) []int {
-	idx := make([]int, len(row))
-	for i := range idx {
-		idx[i] = i
+	var sel topk.Selector
+	return TopKInto(row, k, &sel, nil)
+}
+
+// TopKInto is TopK with caller-owned state: sel holds the bounded-heap
+// selection buffer and dst the result storage (appended from length 0,
+// so a dst with capacity ≥ min(k, len(row)) makes the call
+// allocation-free). Selection is O(n log k) against the former full
+// sort's O(n log n), with the identical (value, index) ascending
+// ordering contract.
+//
+//perf:hotpath ground-truth computation ranks every query row of a queries×database distance matrix; this is the experiment harness's inner loop
+func TopKInto(row []float64, k int, sel *topk.Selector, dst []int) []int {
+	items := sel.Select(len(row), k, func(i int) float64 { return row[i] })
+	dst = dst[:0]
+	for _, it := range items {
+		dst = append(dst, it.ID)
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		//lint:ignore floatcompare sort tie-break over stored distances; exact inequality of the same stored values is the documented ascending-index determinism contract
-		if row[idx[a]] != row[idx[b]] {
-			return row[idx[a]] < row[idx[b]]
-		}
-		return idx[a] < idx[b]
-	})
-	if k > len(idx) {
-		k = len(idx)
-	}
-	return idx[:k]
+	return dst
 }
 
 // GroundTruth computes, for each query, the exact top-k database indices
-// under distance function f.
+// under distance function f. All per-query index slices share one flat
+// backing array, and one selector serves every row.
 func GroundTruth(f dist.Func, queries, db []geo.Trajectory, k int) [][]int {
 	m := dist.CrossMatrix(f, queries, db)
 	out := make([][]int, len(queries))
+	kc := k
+	if kc > len(db) {
+		kc = len(db)
+	}
+	if kc < 0 {
+		kc = 0
+	}
+	flat := make([]int, len(queries)*kc)
+	var sel topk.Selector
 	for i, row := range m {
-		out[i] = TopK(row, k)
+		dst := flat[i*kc : i*kc : (i+1)*kc]
+		out[i] = TopKInto(row, k, &sel, dst)
 	}
 	return out
 }

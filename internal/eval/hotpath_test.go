@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"traj2hash/internal/topk"
+)
+
+// TestTopKIntoMatchesTopK checks that the buffer-reusing variant returns
+// exactly the one-shot API's indices across shapes, including shrinking
+// k between calls on the same selector.
+func TestTopKIntoMatchesTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var sel topk.Selector
+	var dst []int
+	shapes := []struct{ n, k int }{
+		{100, 10}, {50, 50}, {200, 3}, {10, 25}, {1, 1},
+	}
+	for _, sh := range shapes {
+		row := make([]float64, sh.n)
+		for i := range row {
+			row[i] = float64(rng.Intn(15)) // coarse values force tie-breaks
+		}
+		want := TopK(row, sh.k)
+		dst = TopKInto(row, sh.k, &sel, dst)
+		if len(dst) != len(want) {
+			t.Fatalf("n=%d k=%d: got %d indices, want %d", sh.n, sh.k, len(dst), len(want))
+		}
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d k=%d index %d: got %d, want %d", sh.n, sh.k, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+// TestHotpathTopKIntoZeroAlloc locks in the //perf:hotpath contract on
+// TopKInto with warm selector and destination buffers.
+func TestHotpathTopKIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	row := make([]float64, 1000)
+	for i := range row {
+		row[i] = rng.Float64()
+	}
+	var sel topk.Selector
+	var dst []int
+	dst = TopKInto(row, 50, &sel, dst) // warm both buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = TopKInto(row, 50, &sel, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("TopKInto allocated %v per call, want 0", allocs)
+	}
+}
+
+// BenchmarkHotpathEvalTopK measures the ground-truth inner loop:
+// ranking one 10k-wide distance row to its top 50 with reused buffers.
+func BenchmarkHotpathEvalTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(35))
+	row := make([]float64, 10000)
+	for i := range row {
+		row[i] = rng.Float64()
+	}
+	var sel topk.Selector
+	var dst []int
+	dst = TopKInto(row, 50, &sel, dst) // warm buffers: measure steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = TopKInto(row, 50, &sel, dst)
+	}
+}

@@ -61,14 +61,24 @@ func (c Code) FlipBit(i int) Code {
 	return out
 }
 
-// Distance returns the Hamming distance between two codes of equal length.
+// Distance returns the Hamming distance between two codes of equal
+// length. The panic message is a constant, not a Sprintf: formatted
+// panic arguments escape to the heap on every call even when the panic
+// never fires, and Distance runs once per indexed code per brute-force
+// query.
+//
+//perf:hotpath the popcount loop is the inner kernel of every Hamming scan; one allocation or bounds check here multiplies by n codes per query
 func Distance(a, b Code) int {
 	if a.Bits != b.Bits {
-		panic(fmt.Sprintf("hamming: length mismatch %d vs %d", a.Bits, b.Bits))
+		panic("hamming: code length mismatch in Distance")
 	}
+	aw, bw := a.Words, b.Words
+	// Equal Bits means equal word counts; the reslice makes that visible
+	// to the compiler, eliminating the bw[i] bounds check in the loop.
+	bw = bw[:len(aw)]
 	var d int
-	for i := range a.Words {
-		d += bits.OnesCount64(a.Words[i] ^ b.Words[i])
+	for i := range aw {
+		d += bits.OnesCount64(aw[i] ^ bw[i])
 	}
 	return d
 }

@@ -82,55 +82,130 @@ func (m *MIH) Len() int { return len(m.codes) }
 // Bits returns the code length.
 func (m *MIH) Bits() int { return m.bits }
 
-// substrings extracts the chunk values of a code.
+// substrings extracts the chunk values of a code into a fresh slice.
+// Hot paths use substringsInto with buffer-owned storage instead.
 func (m *MIH) substrings(c Code) []uint64 {
 	out := make([]uint64, m.chunks)
-	bit := 0
-	for ci, w := range m.chunkBits {
-		var v uint64
-		for b := 0; b < w; b++ {
-			if c.Bit(bit) {
-				v |= 1 << uint(b)
-			}
-			bit++
-		}
-		out[ci] = v
-	}
+	m.substringsInto(c, out)
 	return out
+}
+
+// substringsInto extracts the chunk values of a code into dst, which
+// must hold at least m.chunks elements. Extraction is word-wise — each
+// chunk is assembled from at most two shifted words — rather than
+// per-bit, so the cost is O(chunks), not O(bits).
+func (m *MIH) substringsInto(c Code, dst []uint64) {
+	if len(dst) < m.chunks || len(m.chunkBits) < m.chunks {
+		panic("hamming: substringsInto destination shorter than chunk count")
+	}
+	words := c.Words
+	bit := 0
+	for ci := 0; ci < m.chunks; ci++ {
+		w := m.chunkBits[ci]
+		lo := bit / 64
+		off := uint(bit % 64)
+		v := words[lo] >> off
+		if off+uint(w) > 64 {
+			v |= words[lo+1] << (64 - off)
+		}
+		if w < 64 {
+			v &= (1 << uint(w)) - 1
+		}
+		dst[ci] = v
+		bit += w
+	}
+}
+
+// CandidateBuffer is the reusable state of MIH candidate generation:
+// substring scratch plus the result slice (no per-query map — dedup is
+// a sort-and-compact over the gathered ids, see sortedUnique). The zero
+// value is ready; storage grows on first use and is recycled afterwards,
+// so a buffer held across queries makes CandidatesInto allocation-free
+// in the steady state. A CandidateBuffer is not safe for concurrent use,
+// and the slice CandidatesInto returns aliases it — consume before the
+// next call.
+type CandidateBuffer struct {
+	subs []uint64
+	ids  []int
+}
+
+// reset prepares the buffer for one candidate-generation pass over
+// chunks substrings. Growth happens here — through append, whose
+// amortized reallocation is the buffer's ownership contract — never in
+// the per-bucket loops.
+func (b *CandidateBuffer) reset(chunks int) {
+	for len(b.subs) < chunks {
+		b.subs = append(b.subs, 0)
+	}
+	b.ids = b.ids[:0]
+}
+
+// sortedUnique sorts ids ascending and compacts duplicates in place,
+// returning the shortened slice. Candidate generation gathers bucket
+// contents with duplicates (a code can match the query in several
+// chunks) and pays one post-pass here instead of a per-entry dedup
+// structure in the probe loop — the ascending sort is required for the
+// deterministic output contract anyway, so dedup rides along at the
+// same O(c log c).
+func sortedUnique(ids []int) []int {
+	sort.Ints(ids)
+	n := 0
+	for i, id := range ids {
+		if i == 0 || ids[n-1] != id {
+			ids[n] = id
+			n++
+		}
+	}
+	return ids[:n]
 }
 
 // Candidates returns the ids whose codes match at least one query
 // substring within subRadius bit flips. By pigeonhole this is a superset of
 // all codes within Hamming distance chunks·(subRadius+1)−1 of the query.
+// The result is freshly generated per call; hot callers should hold a
+// CandidateBuffer and use CandidatesInto.
 func (m *MIH) Candidates(q Code, subRadius int) []int {
-	seen := map[int]struct{}{}
-	var out []int
-	add := func(ids []int) {
-		for _, id := range ids {
-			if _, ok := seen[id]; !ok {
-				seen[id] = struct{}{}
-				out = append(out, id)
-			}
-		}
+	var buf CandidateBuffer
+	return m.CandidatesInto(q, subRadius, &buf)
+}
+
+// CandidatesInto is Candidates with caller-owned state: the probe loop
+// only reads buckets and appends into buf's reused slice (no per-query
+// map, no per-entry dedup structure); duplicates are compacted by the
+// final sort. The returned slice aliases buf and is valid until the
+// next call with the same buffer.
+//
+//perf:hotpath MIH candidate generation probes every substring bucket per query; it replaced radius expansion precisely for speed, so it must not give the win back in map and slice churn
+func (m *MIH) CandidatesInto(q Code, subRadius int, buf *CandidateBuffer) []int {
+	buf.reset(m.chunks)
+	tables := m.tables
+	if len(m.chunkBits) < len(tables) || len(buf.subs) < len(tables) {
+		panic("hamming: MIH chunk state out of sync")
 	}
-	subs := m.substrings(q)
-	for ci, sub := range subs {
-		add(m.tables[ci][sub])
+	chunkBits := m.chunkBits[:len(tables)]
+	subs := buf.subs[:len(tables)]
+	m.substringsInto(q, subs)
+	ids := buf.ids[:0]
+	for ci := range tables {
+		t := tables[ci]
+		sub := subs[ci]
+		ids = append(ids, t[sub]...)
+		w := chunkBits[ci]
 		if subRadius >= 1 {
-			for b := 0; b < m.chunkBits[ci]; b++ {
-				add(m.tables[ci][sub^(1<<uint(b))])
+			for b := 0; b < w; b++ {
+				ids = append(ids, t[sub^(1<<uint(b))]...)
 			}
 		}
 		if subRadius >= 2 {
-			for b1 := 0; b1 < m.chunkBits[ci]; b1++ {
-				for b2 := b1 + 1; b2 < m.chunkBits[ci]; b2++ {
-					add(m.tables[ci][sub^(1<<uint(b1))^(1<<uint(b2))])
+			for b1 := 0; b1 < w; b1++ {
+				for b2 := b1 + 1; b2 < w; b2++ {
+					ids = append(ids, t[sub^(1<<uint(b1))^(1<<uint(b2))]...)
 				}
 			}
 		}
 	}
-	sort.Ints(out)
-	return out
+	buf.ids = sortedUnique(ids)
+	return buf.ids
 }
 
 // Search returns the exact top-k ids by Hamming distance: candidates are
@@ -139,12 +214,14 @@ func (m *MIH) Candidates(q Code, subRadius int) []int {
 // guarantee chunks·(subRadius+1)−1, proving no closer code was missed.
 // If the guarantee is never reached, it degenerates to a full scan.
 func (m *MIH) Search(q Code, k int) []Neighbor {
+	var buf CandidateBuffer // one buffer and selector serve all three rounds
+	var sel topk.Selector
 	for subRadius := 0; subRadius <= 2; subRadius++ {
-		cands := m.Candidates(q, subRadius)
+		cands := m.CandidatesInto(q, subRadius, &buf)
 		if len(cands) < k {
 			continue
 		}
-		items := topk.Select(len(cands), k, func(i int) float64 {
+		items := sel.Select(len(cands), k, func(i int) float64 {
 			return float64(Distance(q, m.codes[cands[i]]))
 		})
 		guarantee := m.chunks*(subRadius+1) - 1
@@ -157,7 +234,7 @@ func (m *MIH) Search(q Code, k int) []Neighbor {
 		}
 	}
 	// Guarantee unreachable within the probe budget: rank everything.
-	items := topk.Select(len(m.codes), k, func(i int) float64 {
+	items := sel.Select(len(m.codes), k, func(i int) float64 {
 		return float64(Distance(q, m.codes[i]))
 	})
 	ns := make([]Neighbor, len(items))

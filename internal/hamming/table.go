@@ -139,16 +139,29 @@ type Neighbor struct {
 
 // BruteForce returns the k nearest items to q by scanning all codes — the
 // Hamming-BF strategy. Ties break by id for determinism. Selection is
-// O(n log k), so the popcount scan dominates.
+// O(n log k), so the popcount scan dominates. The result is freshly
+// allocated; hot callers should use BruteForceInto with reused state.
 func (t *Table) BruteForce(q Code, k int) []Neighbor {
-	items := topk.Select(len(t.codes), k, func(i int) float64 {
+	var sel topk.Selector
+	return t.BruteForceInto(q, k, &sel, nil)
+}
+
+// BruteForceInto is BruteForce with caller-owned state: sel holds the
+// selection heap and dst the result storage (its backing array is reused
+// via append, so passing the previous call's result back in makes the
+// steady state allocation-free). The returned slice aliases dst's
+// storage and sel's buffer lifetime — consume it before the next call.
+//
+//perf:hotpath the Hamming-BF scan is one of the two serving hot paths (ROADMAP); it runs per query per shard over every indexed code
+func (t *Table) BruteForceInto(q Code, k int, sel *topk.Selector, dst []Neighbor) []Neighbor {
+	items := sel.Select(len(t.codes), k, func(i int) float64 {
 		return float64(Distance(q, t.codes[i]))
 	})
-	ns := make([]Neighbor, len(items))
-	for i, it := range items {
-		ns[i] = Neighbor{ID: it.ID, Distance: int(it.Dist)}
+	dst = dst[:0]
+	for _, it := range items {
+		dst = append(dst, Neighbor{ID: it.ID, Distance: int(it.Dist)})
 	}
-	return ns
+	return dst
 }
 
 // Hybrid implements the Hamming-Hybrid strategy of Section V-E: search the

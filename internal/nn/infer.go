@@ -1,0 +1,51 @@
+package nn
+
+// Inference kernels: graph-free counterparts of the autograd ops for
+// serving paths that only need forward values. The autograd MatMul
+// allocates an output tensor, a backward closure, and a parents slice on
+// every call — the right trade during training, pure overhead when the
+// engine embeds queries at serving time.
+
+// MatMulInto computes dst = a·b for a (n×k), b (k×m), dst (n×m), without
+// building a gradient graph and without allocating: the caller owns dst
+// and reuses it across calls. dst must not alias a or b.
+//
+// The kernel walks a and dst by slicing rows off the front
+// (`for len(ad) >= k`), which is what lets the compiler prove every
+// row-slice in range and keep the inner accumulation loop free of
+// bounds checks — the //perf:hotpath contract, enforced by trajlint.
+//
+//perf:hotpath serving-time embedding is a chain of matmuls per query; the graph machinery the training path tolerates would dominate the arithmetic here
+func MatMulInto(dst, a, b *Tensor) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("nn: MatMulInto shape mismatch")
+	}
+	k, m := a.Cols, b.Cols
+	// Tensor constructors reject empty shapes; restating k, m > 0 here
+	// hands the prove pass the lower bound it needs to eliminate the
+	// row-slice bounds checks in the loop below.
+	if k <= 0 || m <= 0 {
+		panic("nn: MatMulInto empty dimensions")
+	}
+	ad, od := a.Data, dst.Data
+	for len(ad) >= k && len(od) >= m {
+		arow := ad[:k]
+		orow := od[:m]
+		clear(orow)
+		brest := b.Data
+		for p := 0; p < len(arow) && len(brest) >= m; p++ {
+			av := arow[p]
+			brow := brest[:m]
+			brest = brest[m:]
+			//lint:ignore floatcompare sparsity fast path: skipping exactly-zero activations is exact (0·x contributes nothing)
+			if av == 0 {
+				continue
+			}
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+		ad = ad[k:]
+		od = od[m:]
+	}
+}

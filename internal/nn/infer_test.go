@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMatMulIntoMatchesMatMul checks the graph-free kernel against the
+// autograd forward pass over assorted shapes (the two run the identical
+// i-p-j accumulation order, so values agree to the last bit; the
+// tolerance guards against future reorderings, not present error).
+func TestMatMulIntoMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	shapes := []struct{ n, k, m int }{
+		{1, 1, 1}, {2, 3, 4}, {5, 5, 5}, {1, 16, 8}, {7, 2, 9},
+	}
+	for _, sh := range shapes {
+		a := Randn(sh.n, sh.k, 1, rng)
+		b := Randn(sh.k, sh.m, 1, rng)
+		a.Data[0] = 0 // exercise the sparsity fast path
+		want := MatMul(a, b)
+		dst := New(sh.n, sh.m)
+		for i := range dst.Data {
+			dst.Data[i] = math.NaN() // MatMulInto must overwrite, not accumulate
+		}
+		MatMulInto(dst, a, b)
+		for i := range want.Data {
+			if math.Abs(dst.Data[i]-want.Data[i]) > 1e-12 {
+				t.Fatalf("%dx%dx%d element %d: got %v, want %v",
+					sh.n, sh.k, sh.m, i, dst.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestMatMulIntoShapePanics checks the guard panics.
+func TestMatMulIntoShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched shapes did not panic")
+		}
+	}()
+	MatMulInto(New(2, 2), New(2, 3), New(4, 2))
+}
+
+// TestHotpathMatMulIntoZeroAlloc locks in the //perf:hotpath contract:
+// the inference kernel allocates nothing, ever (it has no buffer to
+// warm — the caller owns all storage).
+func TestHotpathMatMulIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := Randn(16, 32, 1, rng)
+	b := Randn(32, 16, 1, rng)
+	dst := New(16, 16)
+	allocs := testing.AllocsPerRun(100, func() {
+		MatMulInto(dst, a, b)
+	})
+	if allocs != 0 {
+		t.Fatalf("MatMulInto allocated %v per call, want 0", allocs)
+	}
+}
+
+// BenchmarkHotpathMatMulInto measures the graph-free kernel on the
+// serving-relevant shape (batch-of-1 embedding times a square weight).
+func BenchmarkHotpathMatMulInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	x := Randn(1, 128, 1, rng)
+	w := Randn(128, 128, 1, rng)
+	dst := New(1, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, w)
+	}
+}

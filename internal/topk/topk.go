@@ -2,9 +2,14 @@
 // instead of sorting the full candidate list, which is what makes the
 // distance computation (not the sort) dominate brute-force search costs —
 // matching how the paper's search strategies are implemented.
+//
+// The core is the reusable Selector: a bounded max-heap whose backing
+// array survives across calls, so steady-state selection performs zero
+// heap allocations (the //perf:hotpath contract on Selector.Select,
+// enforced by trajlint's hotpathalloc rule and locked in by the
+// AllocsPerRun tests). The package-level Select/SelectSlice helpers
+// remain the convenient one-shot forms.
 package topk
-
-import "sort"
 
 // Item is a candidate with its distance (smaller is better).
 type Item struct {
@@ -12,14 +17,72 @@ type Item struct {
 	Dist float64
 }
 
-// Select returns the k items with the smallest distances among ids
-// [0, n), using the dist callback, sorted ascending with ties broken by
-// ascending id. The tie-break is a contract, not an accident: every
-// search backend ranks with Select (or mirrors its ordering), which is
-// what makes results deterministic and lets the sharded engine merge
+// worse reports whether a ranks after b: greater distance, ties broken
+// by greater id. It is a total order over distinct ids, which is what
+// makes Select's output deterministic and lets the sharded engine merge
 // per-shard top-k lists into the exact global answer (see the
 // cross-backend parity tests in internal/engine).
-func Select(n, k int, dist func(i int) float64) []Item {
+func worse(a, b Item) bool {
+	//lint:ignore floatcompare heap tie-break over stored distances; exact inequality of the same stored values is the ascending-id determinism contract
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.ID > b.ID
+}
+
+// heapify builds the max-heap invariant in place in O(len(h)) (Floyd's
+// bottom-up construction). It runs once per Select, outside the scan
+// loop — which is also what keeps its bounds checks out of the
+// //perf:hotpath loop contract: per-item sift-up indexing (i = (i-1)/2)
+// is beyond what the compiler's prove pass can discharge.
+func heapify(h []Item) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i, len(h))
+	}
+}
+
+// siftDown restores the invariant from index i within h[:m].
+func siftDown(h []Item, i, m int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		w := i
+		if l < m && worse(h[l], h[w]) {
+			w = l
+		}
+		if r < m && worse(h[r], h[w]) {
+			w = r
+		}
+		if w == i {
+			return
+		}
+		h[i], h[w] = h[w], h[i]
+		i = w
+	}
+}
+
+// Selector is reusable top-k selection state. The zero value is ready to
+// use; the heap's backing array is recycled across calls, so a Selector
+// kept across queries allocates nothing per call once it has grown to
+// the largest k it has seen (append's amortized growth is the only
+// allocation it ever performs). A Selector is not safe for concurrent
+// use, and the slice returned by Select aliases the Selector's buffer —
+// consume or copy it before the next call.
+type Selector struct {
+	h []Item
+}
+
+// Select returns the k items with the smallest distances among ids
+// [0, n), using the dist callback, sorted ascending with ties broken by
+// ascending id (the worse ordering, exactly as the package-level Select
+// documents). The result aliases the Selector's internal buffer.
+//
+// The final ordering pass is an in-place heapsort over the already-built
+// max-heap rather than sort.Slice: the closure and interface boxing of
+// sort.Slice are per-call allocations, and selection runs once per query
+// per shard. dist is called exactly once per id, in ascending id order.
+//
+//perf:hotpath top-k selection runs once per query per shard; the scan it ranks only keeps its O(n log k) bound if selection itself stays allocation-free
+func (s *Selector) Select(n, k int, dist func(i int) float64) []Item {
 	if k <= 0 || n <= 0 {
 		return nil
 	}
@@ -27,56 +90,44 @@ func Select(n, k int, dist func(i int) float64) []Item {
 		k = n
 	}
 	// Bounded max-heap of the current best k: the root is the worst kept.
-	h := make([]Item, 0, k)
-	worse := func(a, b Item) bool { // a is worse than b
-		//lint:ignore floatcompare heap tie-break over stored distances; exact inequality of the same stored values is the ascending-id determinism contract
-		if a.Dist != b.Dist {
-			return a.Dist > b.Dist
-		}
-		return a.ID > b.ID
+	// The first k items fill the buffer unordered and heapify once —
+	// O(k) instead of k sift-ups, and the decision loop below compares
+	// only against the root, which is the same unique worst element under
+	// any valid heap layout, so the output ordering contract is
+	// unaffected by the construction order.
+	h := s.h[:0]
+	for i := 0; i < k; i++ {
+		h = append(h, Item{ID: i, Dist: dist(i)})
 	}
-	siftUp := func(i int) {
-		for i > 0 {
-			p := (i - 1) / 2
-			if !worse(h[i], h[p]) {
-				break
-			}
-			h[i], h[p] = h[p], h[i]
-			i = p
-		}
+	heapify(h)
+	if len(h) == 0 {
+		return nil // unreachable (k ≥ 1); pins len(h) > 0 for the prover
 	}
-	siftDown := func() {
-		i := 0
-		for {
-			l, r := 2*i+1, 2*i+2
-			w := i
-			if l < len(h) && worse(h[l], h[w]) {
-				w = l
-			}
-			if r < len(h) && worse(h[r], h[w]) {
-				w = r
-			}
-			if w == i {
-				return
-			}
-			h[i], h[w] = h[w], h[i]
-			i = w
-		}
-	}
-	for i := 0; i < n; i++ {
+	for i := k; i < n; i++ {
 		it := Item{ID: i, Dist: dist(i)}
-		if len(h) < k {
-			h = append(h, it)
-			siftUp(len(h) - 1)
-			continue
-		}
 		if worse(h[0], it) {
 			h[0] = it
-			siftDown()
+			siftDown(h, 0, len(h))
 		}
 	}
-	sort.Slice(h, func(a, b int) bool { return worse(h[b], h[a]) })
+	// Heapsort: repeatedly move the worst remaining to the tail, leaving
+	// the array ascending (best first) under the worse ordering.
+	for m := len(h); m > 1; m-- {
+		h[0], h[m-1] = h[m-1], h[0]
+		siftDown(h, 0, m-1)
+	}
+	s.h = h
 	return h
+}
+
+// Select returns the k items with the smallest distances among ids
+// [0, n), using the dist callback, sorted ascending with ties broken by
+// ascending id. The tie-break is a contract, not an accident (see
+// worse). The returned slice is freshly allocated; hot paths that select
+// repeatedly should hold a Selector instead.
+func Select(n, k int, dist func(i int) float64) []Item {
+	var s Selector
+	return s.Select(n, k, dist)
 }
 
 // SelectSlice is Select over a precomputed distance slice.

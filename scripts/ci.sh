@@ -15,7 +15,14 @@
 #   6. encoder benchmark artifact — embed/hash ns/op, ops/sec, and allocs
 #      for every registered encoder kind, exported to
 #      bin/BENCH_encoders.json (BENCH_ENCODERS_OUT)
-#   7. full test suite under the race detector (the engine's concurrent
+#   7. hotpath performance contracts — the perf-rule subset of trajlint
+#      (hotpathalloc, hotpathbce, allocinloop) re-checked standalone,
+#      then the BenchmarkHotpath* suite runs with -benchmem and
+#      cmd/benchjson exports bin/BENCH_hotpath.json and gates allocs/op
+#      against scripts/hotpath_floors.json (allocs are exact, so unlike
+#      ns/op they CAN fail the build; see DESIGN.md "Performance
+#      contracts")
+#   8. full test suite under the race detector (the engine's concurrent
 #      Add/Search tests only mean something with -race)
 #
 # BENCH_obs — the instrumentation overhead guard (not a CI gate:
@@ -93,6 +100,35 @@ BENCH_ENCODERS_OUT="$PWD/bin/BENCH_encoders.json" \
 }
 [ -s bin/BENCH_encoders.json ] || {
 	echo "encoders: bin/BENCH_encoders.json missing or empty"
+	exit 1
+}
+
+echo "== hotpath performance contracts (perf rules + BENCH_hotpath.json)"
+# The full trajlint pass above already includes the perf rules; this
+# standalone invocation documents the contract and exercises the
+# -rules path the perf docs point people at. The diagnostics cache makes
+# it a replay of the compile work done in stage 2.
+./bin/trajlint -cache bin/trajlint-cache -rules hotpathalloc,hotpathbce,allocinloop ./... || {
+	echo "perf contracts: a //perf:hotpath function regressed — see DESIGN.md 'Performance contracts' for the escape/BCE/alloc gates and how to read the findings"
+	exit 1
+}
+go build -o bin/benchjson ./cmd/benchjson
+# -benchtime 100x keeps the stage fast; the gated quantity (allocs/op)
+# is exact in steady state, so a short run measures it as well as a
+# long one. Each benchmark warms its reusable buffers before ResetTimer.
+go test -bench 'BenchmarkHotpath' -benchmem -benchtime 100x -run '^$' \
+	./internal/topk ./internal/hamming ./internal/nn ./internal/eval ./internal/core \
+	>bin/bench_hotpath.txt || {
+	cat bin/bench_hotpath.txt
+	echo "perf contracts: the BenchmarkHotpath suite failed to run"
+	exit 1
+}
+./bin/benchjson -floors scripts/hotpath_floors.json -out bin/BENCH_hotpath.json <bin/bench_hotpath.txt || {
+	echo "perf contracts: allocation floors violated — a hot path allocates more than its recorded floor in scripts/hotpath_floors.json; artifact at bin/BENCH_hotpath.json"
+	exit 1
+}
+[ -s bin/BENCH_hotpath.json ] || {
+	echo "perf contracts: bin/BENCH_hotpath.json missing or empty"
 	exit 1
 }
 
