@@ -328,6 +328,10 @@ func cmdSearch(ctx context.Context, args []string) error {
 	debugAddrFlag := fs.String("debug-addr", "",
 		"serve /metrics, /trace and pprof on this address while searching (e.g. :6060; binds 127.0.0.1 unless a host is given; default off)")
 	stats := fs.Bool("stats", false, "print a metrics summary after the queries")
+	walDir := fs.String("wal-dir", "",
+		"durability directory: mutations are write-ahead logged there and a prior run's state is recovered on startup — the dataset's database split only seeds an index that recovered nothing (default off: in-memory)")
+	snapshotEvery := fs.Int("snapshot-every", 0,
+		"with -wal-dir, snapshot cadence in logged mutations; smaller bounds recovery replay, larger appends faster (0 = default 1024, negative = log-only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -357,13 +361,28 @@ func cmdSearch(ctx context.Context, args []string) error {
 	// the -strategy backend behind a sharded, concurrent index.
 	buildStart := time.Now()
 	idx, err := traj2hash.NewIndexWith(enc, ds.Database, traj2hash.Options{
-		Backend: *strategy,
-		Shards:  *shards,
-		Workers: *workers,
-		Metrics: reg,
+		Backend:       *strategy,
+		Shards:        *shards,
+		Workers:       *workers,
+		Metrics:       reg,
+		WALDir:        *walDir,
+		SnapshotEvery: *snapshotEvery,
 	})
 	if err != nil {
 		return err
+	}
+	defer func() {
+		if err := idx.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: closing durable index: %v\n", err)
+		}
+	}()
+	if rec := idx.Recovery(); rec.Recovered {
+		torn := ""
+		if rec.TornTail {
+			torn = "; truncated a torn final record (crash mid-append)"
+		}
+		fmt.Printf("recovered %d trajectories from %s (%d from snapshot, %d replayed from the log%s)\n",
+			idx.Len(), *walDir, rec.FromSnapshot, rec.Replayed, torn)
 	}
 	fmt.Printf("indexed %d trajectories in %v (%s encoder, %s backend, %d shard(s))\n",
 		idx.Len(), time.Since(buildStart).Round(time.Millisecond), enc.Kind(), idx.Backend(), *shards)

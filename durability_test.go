@@ -1,0 +1,478 @@
+package traj2hash
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"traj2hash/internal/faultinject"
+	"traj2hash/internal/wal"
+)
+
+// This file is the durability proof of ISSUE 8: a crash injected at
+// EVERY filesystem write, fsync, and rename of a mutating workload must
+// recover to some prefix of the mutation script and answer queries
+// byte-identically to a fresh index built over exactly that prefix.
+
+// mop is one scripted mutation against the public Index API.
+type mop struct {
+	kind int // mopAdd | mopDelete | mopUpdate
+	id   int
+	t    Trajectory
+}
+
+const (
+	mopAdd = iota
+	mopDelete
+	mopUpdate
+)
+
+// durabilityScript interleaves adds, deletes, and updates over distinct
+// dataset trajectories. Every op changes the observable state (updates
+// use fresh trajectories), so each script prefix is distinguishable —
+// which is what lets recovery tests identify the durable prefix.
+func durabilityScript(ds *Dataset) []mop {
+	db := ds.Database
+	ops := make([]mop, 0, 16)
+	for i := 0; i < 8; i++ {
+		ops = append(ops, mop{kind: mopAdd, t: db[i]})
+	}
+	return append(ops,
+		mop{kind: mopDelete, id: 2},
+		mop{kind: mopUpdate, id: 5, t: db[8]},
+		mop{kind: mopAdd, t: db[9]}, // id 8
+		mop{kind: mopDelete, id: 0},
+		mop{kind: mopAdd, t: db[10]}, // id 9
+		mop{kind: mopUpdate, id: 3, t: db[11]},
+		mop{kind: mopDelete, id: 7},
+		mop{kind: mopAdd, t: db[12]}, // id 10
+	)
+}
+
+// applyOps runs the script until the first failure, returning how many
+// ops fully succeeded.
+func applyOps(ix *Index, ops []mop) (int, error) {
+	for i, op := range ops {
+		var err error
+		switch op.kind {
+		case mopAdd:
+			_, err = ix.Add(op.t)
+		case mopDelete:
+			err = ix.Delete(op.id)
+		case mopUpdate:
+			err = ix.Update(op.id, op.t)
+		}
+		if err != nil {
+			return i, err
+		}
+	}
+	return len(ops), nil
+}
+
+// expectedAfter simulates the first L script ops in pure Go: the next
+// id the index would assign and the live id → trajectory mapping.
+func expectedAfter(ops []mop, L int) (int, map[int]Trajectory) {
+	next := 0
+	live := map[int]Trajectory{}
+	for _, op := range ops[:L] {
+		switch op.kind {
+		case mopAdd:
+			live[next] = op.t
+			next++
+		case mopDelete:
+			delete(live, op.id)
+		case mopUpdate:
+			live[op.id] = op.t
+		}
+	}
+	return next, live
+}
+
+// stateMatches reports whether ix exposes exactly the given live set
+// over the id space [0, maxNext).
+func stateMatches(ix *Index, maxNext int, live map[int]Trajectory) bool {
+	if ix.Len() != len(live) {
+		return false
+	}
+	for id := 0; id < maxNext; id++ {
+		got, ok := ix.Trajectory(id)
+		want, wok := live[id]
+		if ok != wok || (ok && !reflect.DeepEqual(got, want)) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchPrefix finds the longest script prefix whose state equals what
+// ix recovered. ok=false means the recovered state is NOT any prefix —
+// the durability contract is broken.
+func matchPrefix(ix *Index, ops []mop, maxNext int) (int, bool) {
+	for L := len(ops); L >= 0; L-- {
+		_, live := expectedAfter(ops, L)
+		if stateMatches(ix, maxNext, live) {
+			return L, true
+		}
+	}
+	return 0, false
+}
+
+func assertSameResults(t *testing.T, tag string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d\n got %v\nwant %v", tag, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || math.Float64bits(got[i].Score) != math.Float64bits(want[i].Score) {
+			t.Fatalf("%s: rank %d is (%d, %v), want (%d, %v)", tag, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+		}
+	}
+}
+
+// assertIndexParity compares the recovered index to its oracle on every
+// search surface: the configured backend plus the three always-on
+// strategy backends and the Within neighborhood — byte-identical ids,
+// scores, and order. It also proves no dead id ever surfaces, even when
+// over-asking for the full ranking.
+func assertIndexParity(t *testing.T, tag string, got, want *Index, qs []Trajectory, live map[int]Trajectory) {
+	t.Helper()
+	if got.Len() != want.Len() || got.Len() != len(live) {
+		t.Fatalf("%s: Len %d, oracle %d, expected %d", tag, got.Len(), want.Len(), len(live))
+	}
+	k := got.Len() + 2 // over-ask: the ranking of every live item
+	for qi, q := range qs {
+		qt := fmt.Sprintf("%s q%d", tag, qi)
+		assertSameResults(t, qt+" Search", got.Search(q, 5), want.Search(q, 5))
+		assertSameResults(t, qt+" Euclidean", got.SearchEuclidean(q, k), want.SearchEuclidean(q, k))
+		assertSameResults(t, qt+" Hamming", got.SearchHamming(q, k), want.SearchHamming(q, k))
+		assertSameResults(t, qt+" Hybrid", got.SearchHybrid(q, k), want.SearchHybrid(q, k))
+		gw, ww := got.Within(q, 2), want.Within(q, 2)
+		if !reflect.DeepEqual(gw, ww) {
+			t.Fatalf("%s Within: got %v, want %v", qt, gw, ww)
+		}
+		for _, r := range got.SearchEuclidean(q, k) {
+			if _, ok := live[r.ID]; !ok {
+				t.Fatalf("%s: dead id %d surfaced in the full ranking", qt, r.ID)
+			}
+		}
+	}
+}
+
+// durableOpts is the shared durable configuration: tight snapshot
+// cadence (so the crash schedule covers the snapshot protocol several
+// times over) and per-mutation fsync (so every successful op is a
+// durability promise the recovery assertions can hold it to).
+func durableOpts(backend string, shards int, dir string, fs wal.VFS) Options {
+	return Options{
+		Backend:       backend,
+		Shards:        shards,
+		VPTreeSeed:    7,
+		WALDir:        dir,
+		SnapshotEvery: 4,
+		WALSyncEvery:  1,
+		walFS:         fs,
+	}
+}
+
+// oracleIndex builds the in-memory reference: same search options, no
+// durability, the given script prefix applied through the same API.
+func oracleIndex(t *testing.T, enc Encoder, backend string, shards int, ops []mop) *Index {
+	t.Helper()
+	ix, err := NewIndexWith(enc, nil, Options{Backend: backend, Shards: shards, VPTreeSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := applyOps(ix, ops); err != nil {
+		t.Fatalf("oracle op %d: %v", n, err)
+	}
+	return ix
+}
+
+// TestCrashRecoveryParity is the tentpole acceptance test: for every
+// single filesystem operation the durable workload performs — every
+// file write (torn short), every fsync (failed), every rename (failed
+// before renaming) — crash there, recover the directory through a
+// healthy filesystem, and require that
+//
+//  1. the recovered state is EXACTLY some prefix of the mutation script,
+//  2. that prefix covers every op whose call returned success (durability
+//     was promised: WALSyncEvery=1) and overshoots by at most the op
+//     in flight at the crash,
+//  3. a fresh in-memory index built over exactly that prefix answers
+//     every query byte-identically on all backends,
+//  4. deleted ids never appear in any answer.
+//
+// Two configurations cover all five registered backends (each index
+// maintains its configured backend plus the three paper strategies).
+func TestCrashRecoveryParity(t *testing.T) {
+	m, ds := untrainedFixture(t)
+	ops := durabilityScript(ds)
+	maxNext, _ := expectedAfter(ops, len(ops))
+	queries := ds.Queries[:2]
+
+	configs := []struct {
+		name    string
+		backend string
+		shards  int
+	}{
+		{"mih-sharded", BackendMIH, 2},
+		{"vptree", BackendVPTree, 1},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			// Recon pass: run the workload on a counting-only FS to learn
+			// the crash schedule's coordinate space.
+			recon := faultinject.NewFS(nil)
+			rix, err := NewIndexWith(m, nil, durableOpts(cfg.backend, cfg.shards, t.TempDir(), recon))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n, err := applyOps(rix, ops); err != nil {
+				t.Fatalf("recon op %d: %v", n, err)
+			}
+			if err := rix.Close(); err != nil {
+				t.Fatal(err)
+			}
+			writes, syncs, renames := recon.Counts()
+			if writes == 0 || syncs == 0 || renames == 0 {
+				t.Fatalf("recon found no crash points (writes=%d syncs=%d renames=%d)", writes, syncs, renames)
+			}
+
+			type fault struct {
+				name string
+				arm  func(*faultinject.FS)
+			}
+			var faults []fault
+			for w := 1; w <= writes; w++ {
+				w := w
+				faults = append(faults, fault{fmt.Sprintf("short-write-%d", w), func(f *faultinject.FS) { f.ShortWriteAt(w) }})
+			}
+			for s := 1; s <= syncs; s++ {
+				s := s
+				faults = append(faults, fault{fmt.Sprintf("fail-sync-%d", s), func(f *faultinject.FS) { f.FailSyncAt(s) }})
+			}
+			for r := 1; r <= renames; r++ {
+				r := r
+				faults = append(faults, fault{fmt.Sprintf("fail-rename-%d", r), func(f *faultinject.FS) { f.FailRenameAt(r) }})
+			}
+
+			for _, fl := range faults {
+				dir := t.TempDir()
+				ffs := faultinject.NewFS(nil)
+				fl.arm(ffs)
+				applied := 0
+				ix, err := NewIndexWith(m, nil, durableOpts(cfg.backend, cfg.shards, dir, ffs))
+				if err == nil {
+					applied, err = applyOps(ix, ops)
+					if err == nil {
+						t.Fatalf("%s: workload survived its scheduled crash", fl.name)
+					}
+					//lint:ignore errcheck the index crashed mid-flight; Close only releases the dead log handle
+					ix.Close()
+				}
+				if !ffs.Crashed() {
+					t.Fatalf("%s: workload failed (%v) without the fault firing", fl.name, err)
+				}
+
+				// Recover the directory like a restarted process: healthy FS.
+				rec, err := NewIndexWith(m, nil, durableOpts(cfg.backend, cfg.shards, dir, nil))
+				if err != nil {
+					t.Fatalf("%s: recovery failed: %v", fl.name, err)
+				}
+				L, ok := matchPrefix(rec, ops, maxNext)
+				if !ok {
+					t.Fatalf("%s: recovered state (Len=%d) is not any prefix of the script", fl.name, rec.Len())
+				}
+				if L < applied || L > applied+1 {
+					t.Fatalf("%s: durable prefix %d, but %d ops returned success (want applied <= L <= applied+1)", fl.name, L, applied)
+				}
+				_, live := expectedAfter(ops, L)
+				oracle := oracleIndex(t, m, cfg.backend, cfg.shards, ops[:L])
+				assertIndexParity(t, fmt.Sprintf("%s L=%d", fl.name, L), rec, oracle, queries, live)
+				if err := rec.Close(); err != nil {
+					t.Fatalf("%s: closing recovered index: %v", fl.name, err)
+				}
+			}
+		})
+	}
+}
+
+// TestDurableRoundTrip is the non-crash durability contract: a clean
+// close/reopen cycle restores the index exactly, the initial dataset is
+// NOT re-seeded on top of recovered state, ids are never reused across
+// restarts, and RecoveryInfo tells the truth.
+func TestDurableRoundTrip(t *testing.T) {
+	m, ds := untrainedFixture(t)
+	dir := t.TempDir()
+	opts := func() Options {
+		return Options{Backend: BackendMIH, Shards: 2, WALDir: dir, SnapshotEvery: 3}
+	}
+
+	ix, err := NewIndexWith(m, ds.Database[:4], opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Recovery().Recovered {
+		t.Fatal("fresh directory reported a recovery")
+	}
+	if err := ix.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Update(2, ds.Database[10]); err != nil {
+		t.Fatal(err)
+	}
+	if id, err := ix.Add(ds.Database[11]); err != nil || id != 4 {
+		t.Fatalf("Add = (%d, %v), want id 4", id, err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a DIFFERENT initial batch: recovery must win and the
+	// batch must be ignored — otherwise every restart re-indexes the
+	// dataset on top of its recovered copy.
+	ix2, err := NewIndexWith(m, ds.Database[20:28], opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := ix2.Recovery()
+	if !info.Recovered || info.TornTail {
+		t.Fatalf("reopen RecoveryInfo = %+v, want a clean recovery", info)
+	}
+	if info.FromSnapshot+info.Replayed == 0 {
+		t.Fatalf("reopen RecoveryInfo = %+v recovered nothing", info)
+	}
+	if ix2.Len() != 4 {
+		t.Fatalf("reopened Len = %d, want 4 (seed batch must be ignored)", ix2.Len())
+	}
+	if _, ok := ix2.Trajectory(1); ok {
+		t.Fatal("deleted id 1 resurrected by reopen")
+	}
+	if tr, ok := ix2.Trajectory(2); !ok || !reflect.DeepEqual(tr, ds.Database[10]) {
+		t.Fatal("update of id 2 lost across reopen")
+	}
+
+	// The reopened index answers exactly like an in-memory index with the
+	// same mutation history.
+	oracle, err := NewIndexWith(m, ds.Database[:4], Options{Backend: BackendMIH, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range []error{oracle.Delete(1), oracle.Update(2, ds.Database[10])} {
+		if mut != nil {
+			t.Fatal(mut)
+		}
+	}
+	if _, err := oracle.Add(ds.Database[11]); err != nil {
+		t.Fatal(err)
+	}
+	_, live := expectedAfter([]mop{
+		{kind: mopAdd, t: ds.Database[0]}, {kind: mopAdd, t: ds.Database[1]},
+		{kind: mopAdd, t: ds.Database[2]}, {kind: mopAdd, t: ds.Database[3]},
+		{kind: mopDelete, id: 1}, {kind: mopUpdate, id: 2, t: ds.Database[10]},
+		{kind: mopAdd, t: ds.Database[11]},
+	}, 7)
+	assertIndexParity(t, "round-trip", ix2, oracle, ds.Queries[:2], live)
+
+	// Ids keep advancing across restarts (never reused), and a third
+	// clean reopen sees the post-restart mutation too.
+	if id, err := ix2.Add(ds.Database[12]); err != nil || id != 5 {
+		t.Fatalf("post-reopen Add = (%d, %v), want id 5", id, err)
+	}
+	if err := ix2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ix3, err := NewIndexWith(m, nil, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		//lint:ignore errcheck test cleanup close
+		ix3.Close()
+	}()
+	if ix3.Len() != 5 {
+		t.Fatalf("third open Len = %d, want 5", ix3.Len())
+	}
+	if tr, ok := ix3.Trajectory(5); !ok || !reflect.DeepEqual(tr, ds.Database[12]) {
+		t.Fatal("mutation made after the first recovery lost by the second")
+	}
+}
+
+// TestAccessorsReportMissing locks the satellite-(b) contract: the
+// accessors return (zero, false) — never panic, never stale data — for
+// out-of-range and deleted ids, and ApproxDistance has no value (NaN)
+// for ids without an embedding.
+func TestAccessorsReportMissing(t *testing.T) {
+	m, ds := untrainedFixture(t)
+	ix, err := NewIndexWith(m, ds.Database[:3], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{-1, 3, 1 << 20} {
+		if _, ok := ix.Trajectory(id); ok {
+			t.Errorf("Trajectory(%d) ok for an id never assigned", id)
+		}
+		if _, ok := ix.Embedding(id); ok {
+			t.Errorf("Embedding(%d) ok for an id never assigned", id)
+		}
+		if d := ix.ApproxDistance(ds.Queries[0], id); !math.IsNaN(d) {
+			t.Errorf("ApproxDistance(%d) = %v, want NaN", id, d)
+		}
+	}
+	if err := ix.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Trajectory(1); ok {
+		t.Error("Trajectory ok after delete")
+	}
+	if _, ok := ix.Embedding(1); ok {
+		t.Error("Embedding ok after delete")
+	}
+	if d := ix.ApproxDistance(ds.Queries[0], 1); !math.IsNaN(d) {
+		t.Errorf("ApproxDistance of deleted id = %v, want NaN", d)
+	}
+	if tr, ok := ix.Trajectory(0); !ok || len(tr) == 0 {
+		t.Error("live id 0 lost its trajectory")
+	}
+	if err := ix.Delete(7); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Delete(7) = %v, want ErrNotFound", err)
+	}
+	if err := ix.Delete(1); !errors.Is(err, ErrDeleted) {
+		t.Errorf("second Delete(1) = %v, want ErrDeleted", err)
+	}
+	if err := ix.Update(1, ds.Database[5]); !errors.Is(err, ErrDeleted) {
+		t.Errorf("Update of deleted id = %v, want ErrDeleted", err)
+	}
+}
+
+// TestIndexAddCtx locks satellite (a) at the facade: a done context
+// fails fast, and a batch canceled midway reports exactly the applied
+// prefix — which for a durable index is also the logged prefix.
+func TestIndexAddCtx(t *testing.T) {
+	m, ds := untrainedFixture(t)
+	ix, err := NewIndexWith(m, ds.Database[:2], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ix.AddCtx(canceled, ds.Database[5]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AddCtx on canceled ctx = %v", err)
+	}
+	if ids, err := ix.AddBatchCtx(canceled, ds.Database[5:9]); err == nil || len(ids) != 0 {
+		t.Fatalf("AddBatchCtx on canceled ctx = (%v, %v)", ids, err)
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("canceled adds mutated the index (Len=%d)", ix.Len())
+	}
+	if id, err := ix.AddCtx(context.Background(), ds.Database[5]); err != nil || id != 2 {
+		t.Fatalf("live AddCtx = (%d, %v), want id 2", id, err)
+	}
+	if ids, err := ix.AddBatchCtx(context.Background(), ds.Database[6:8]); err != nil || len(ids) != 2 {
+		t.Fatalf("live AddBatchCtx = (%v, %v)", ids, err)
+	}
+}

@@ -1,0 +1,279 @@
+package traj2hash
+
+import (
+	"context"
+	"fmt"
+
+	"traj2hash/internal/engine"
+	"traj2hash/internal/geo"
+	"traj2hash/internal/hamming"
+	"traj2hash/internal/wal"
+)
+
+// This file is the mutability + durability face of the Index:
+// Delete/Update (engine tombstones and in-place replacement), the
+// context-aware Add variants, and the write-ahead-log protocol — apply
+// the mutation in memory, append its record (group-fsynced), snapshot on
+// cadence. Recovery (openWAL/restore) is the inverse: load the latest
+// snapshot into the engine, replay the log tail idempotently, and
+// remember what happened in RecoveryInfo.
+
+// Delete removes the trajectory with the given id from the index: it
+// disappears from every subsequent Search/Within answer immediately and
+// its id is never reused. Deleting an unknown id returns ErrNotFound;
+// deleting twice returns ErrDeleted (both from package engine, exposed
+// as traj2hash.ErrNotFound / traj2hash.ErrDeleted). When the shard's
+// tombstone density crosses Options.CompactAt the delete also compacts
+// that shard synchronously; compaction never changes answers.
+func (ix *Index) Delete(id int) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := ix.eng.Delete(id); err != nil {
+		return err
+	}
+	// Release the canonical copies: a deleted id answers nothing, so
+	// holding its trajectory and embedding would only pin memory.
+	ix.trajs[id] = nil
+	ix.embs[id] = nil
+	return ix.logMutation(wal.Record{Op: wal.OpDelete, ID: id})
+}
+
+// Update re-embeds t and replaces the trajectory stored under id in
+// place: the id, its shard, and its insertion-order position are all
+// preserved, so deterministic tie-breaks survive the mutation. Updating
+// an unknown id returns ErrNotFound; a deleted one, ErrDeleted.
+func (ix *Index) Update(id int, t Trajectory) error {
+	emb := ix.enc.Embed(t)
+	code := hamming.FromSigns(emb)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := ix.eng.Update(id, emb, code); err != nil {
+		return err
+	}
+	ix.trajs[id] = t
+	ix.embs[id] = emb
+	return ix.logMutation(wal.Record{Op: wal.OpUpdate, ID: id, Emb: emb, Code: code, Traj: flattenTraj(t)})
+}
+
+// AddCtx is Add honoring cancellation: a done context fails fast before
+// the trajectory is embedded or any state changes.
+func (ix *Index) AddCtx(ctx context.Context, t Trajectory) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return ix.Add(t)
+}
+
+// AddBatchCtx is AddBatch honoring cancellation between appends: the
+// context is checked before each item, and on cancellation the ids
+// already indexed (and durably logged, when a WAL is configured) are
+// returned alongside the context's error — the applied prefix.
+func (ix *Index) AddBatchCtx(ctx context.Context, ts []Trajectory) ([]int, error) {
+	if len(ts) == 0 {
+		return nil, ctx.Err()
+	}
+	embs := ix.enc.EmbedAllParallel(ts, ix.opts.Workers)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ids := make([]int, 0, len(ts))
+	for i, t := range ts {
+		if err := ctx.Err(); err != nil {
+			return ids, err
+		}
+		id, err := ix.add(t, embs[i])
+		if err != nil {
+			return ids, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Close releases the durability layer: pending WAL appends are fsynced
+// and the log handle is closed. The index remains usable for queries but
+// further mutations fail; a nil store (in-memory index) makes Close a
+// no-op. Safe to call more than once.
+func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.store == nil {
+		return nil
+	}
+	err := ix.store.Close()
+	ix.store = nil
+	return err
+}
+
+// logMutation appends one record to the WAL (no-op for in-memory
+// indexes) and snapshots when the cadence says so. Callers hold ix.mu
+// and have already applied the mutation in memory — the in-memory state
+// IS the state a due snapshot captures. An error means durability was
+// lost for this mutation (it is still applied in memory); the caller
+// should surface it and rebuild via NewIndexWith.
+func (ix *Index) logMutation(rec wal.Record) error {
+	if ix.store == nil {
+		return nil
+	}
+	if err := ix.store.Append(rec); err != nil {
+		return err
+	}
+	if ix.store.SnapshotDue() {
+		return ix.store.WriteSnapshot(ix.captureState())
+	}
+	return nil
+}
+
+// captureState images the live index for a snapshot: next-id plus every
+// live item's full representation, ascending by id. Callers hold ix.mu.
+func (ix *Index) captureState() *wal.State {
+	next := ix.eng.NextID()
+	s := &wal.State{Next: next}
+	for id := 0; id < next; id++ {
+		if !ix.eng.Live(id) {
+			continue
+		}
+		emb := ix.embs[id]
+		s.Items = append(s.Items, wal.Item{
+			ID:   id,
+			Emb:  emb,
+			Code: hamming.FromSigns(emb),
+			Traj: flattenTraj(ix.trajs[id]),
+		})
+	}
+	return s
+}
+
+// openWAL opens (or creates) Options.WALDir and restores whatever a
+// previous run left there. Called from NewIndexWith before the initial
+// batch is considered.
+func (ix *Index) openWAL() error {
+	store, rec, err := wal.Open(wal.Options{
+		Dir:           ix.opts.WALDir,
+		SyncEvery:     ix.opts.WALSyncEvery,
+		SnapshotEvery: ix.opts.SnapshotEvery,
+		Metrics:       ix.opts.Metrics,
+		FS:            ix.opts.walFS,
+	})
+	if err != nil {
+		return err
+	}
+	ix.store = store
+	if err := ix.restore(rec); err != nil {
+		//lint:ignore errcheck the restore error takes precedence over the cleanup close
+		store.Close()
+		ix.store = nil
+		return err
+	}
+	return nil
+}
+
+// restore rebuilds the engine and the canonical trajectory/embedding
+// arrays from what recovery found: the snapshot's live items first
+// (placed back under their original global ids, with id-sequence gaps
+// becoming engine tombstones), then the log tail re-applied in order.
+//
+// Tail replay is idempotent because a crash between the snapshot rename
+// and the log reset leaves records the snapshot already reflects: an Add
+// below the engine's next id is already present and skipped, as are
+// Delete/Update of ids that are no longer live. What can NOT happen on
+// an intact log is an Add ABOVE the next id — that would mean a lost
+// record — so it fails recovery loudly instead of leaving a silent gap.
+func (ix *Index) restore(rec *wal.Recovered) error {
+	var next int
+	var items []engine.RestoreItem
+	if rec.Snapshot != nil {
+		next = rec.Snapshot.Next
+		items = make([]engine.RestoreItem, len(rec.Snapshot.Items))
+		for i, it := range rec.Snapshot.Items {
+			items[i] = engine.RestoreItem{ID: it.ID, Emb: it.Emb, Code: it.Code}
+		}
+	}
+	if next == 0 && len(rec.Tail) == 0 {
+		// Fresh directory (or one holding only a torn first record).
+		ix.rec.TornTail = rec.TornTail
+		return nil
+	}
+	if err := ix.eng.Restore(next, items); err != nil {
+		return err
+	}
+	ix.trajs = make([]Trajectory, next)
+	ix.embs = make([][]float64, next)
+	if rec.Snapshot != nil {
+		for _, it := range rec.Snapshot.Items {
+			ix.trajs[it.ID] = unflattenTraj(it.Traj)
+			ix.embs[it.ID] = it.Emb
+		}
+	}
+	for _, r := range rec.Tail {
+		switch r.Op {
+		case wal.OpAdd:
+			if r.ID < ix.eng.NextID() {
+				continue // already captured by the snapshot
+			}
+			id, err := ix.eng.Add(r.Emb, r.Code)
+			if err != nil {
+				return fmt.Errorf("traj2hash: replaying add of id %d: %w", r.ID, err)
+			}
+			if id != r.ID {
+				return fmt.Errorf("traj2hash: WAL add replay assigned id %d, logged id was %d (lost record)", id, r.ID)
+			}
+			ix.trajs = append(ix.trajs, unflattenTraj(r.Traj))
+			ix.embs = append(ix.embs, r.Emb)
+			ix.rec.Replayed++
+		case wal.OpDelete:
+			if !ix.eng.Live(r.ID) {
+				continue
+			}
+			if err := ix.eng.Delete(r.ID); err != nil {
+				return fmt.Errorf("traj2hash: replaying delete of id %d: %w", r.ID, err)
+			}
+			ix.trajs[r.ID] = nil
+			ix.embs[r.ID] = nil
+			ix.rec.Replayed++
+		case wal.OpUpdate:
+			if !ix.eng.Live(r.ID) {
+				continue
+			}
+			if err := ix.eng.Update(r.ID, r.Emb, r.Code); err != nil {
+				return fmt.Errorf("traj2hash: replaying update of id %d: %w", r.ID, err)
+			}
+			ix.trajs[r.ID] = unflattenTraj(r.Traj)
+			ix.embs[r.ID] = r.Emb
+			ix.rec.Replayed++
+		default:
+			return fmt.Errorf("traj2hash: WAL record with unknown op %d", r.Op)
+		}
+	}
+	ix.rec = RecoveryInfo{
+		Recovered:    true,
+		FromSnapshot: len(items),
+		Replayed:     ix.rec.Replayed,
+		TornTail:     rec.TornTail,
+	}
+	return nil
+}
+
+// flattenTraj serializes a trajectory for a WAL record or snapshot item
+// as alternating x,y coordinates.
+func flattenTraj(t Trajectory) []float64 {
+	if len(t) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, 2*len(t))
+	for _, p := range t {
+		out = append(out, p.X, p.Y)
+	}
+	return out
+}
+
+// unflattenTraj is the inverse of flattenTraj.
+func unflattenTraj(xs []float64) Trajectory {
+	if len(xs) == 0 {
+		return nil
+	}
+	t := make(Trajectory, 0, len(xs)/2)
+	for i := 0; i+1 < len(xs); i += 2 {
+		t = append(t, geo.Point{X: xs[i], Y: xs[i+1]})
+	}
+	return t
+}

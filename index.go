@@ -9,6 +9,16 @@ import (
 	"traj2hash/internal/engine"
 	"traj2hash/internal/hamming"
 	"traj2hash/internal/obs"
+	"traj2hash/internal/wal"
+)
+
+// Typed mutation errors, re-exported from the engine: Delete/Update on
+// an id the index never assigned reports ErrNotFound; on an id that was
+// assigned and later deleted, ErrDeleted (ids are never reused, so the
+// two stay distinguishable forever). Test with errors.Is.
+var (
+	ErrNotFound = engine.ErrNotFound
+	ErrDeleted  = engine.ErrDeleted
 )
 
 // Status reports how completely a context-aware query was answered — the
@@ -70,6 +80,49 @@ type Options struct {
 	// snapshot. Several indexes may share one registry (counters
 	// accumulate), including DefaultMetricsRegistry().
 	Metrics *MetricsRegistry
+	// CompactAt is the per-shard tombstone-density threshold at which a
+	// Delete triggers a synchronous compaction of its shard (backends are
+	// rebuilt over the live items). 0 means the engine default (0.25);
+	// negative disables automatic compaction. Compaction never changes
+	// answers, only their cost.
+	CompactAt float64
+	// WALDir, when non-empty, makes the index durable: every mutation
+	// (Add/Delete/Update) is appended to a CRC-checksummed write-ahead
+	// log in this directory before its call returns, snapshots are taken
+	// every SnapshotEvery mutations, and NewIndexWith recovers whatever a
+	// previous run left there — loading the latest snapshot, replaying
+	// the log tail, and truncating a torn final record. Empty disables
+	// durability entirely (a purely in-memory index).
+	WALDir string
+	// SnapshotEvery is the snapshot cadence in logged mutations (0 = the
+	// wal default of 1024; negative disables cadence snapshots). Smaller
+	// values bound recovery replay at the cost of more snapshot writes.
+	SnapshotEvery int
+	// WALSyncEvery is the group-fsync interval of the log: the WAL is
+	// fsynced after every WALSyncEvery mutations (0 or 1 = every mutation
+	// durable before its call returns). Larger values trade the
+	// durability of the last few mutations for ingest throughput.
+	WALSyncEvery int
+
+	// walFS overrides the durability layer's filesystem — the seam the
+	// fault-injected crash-recovery tests use. Nil means the real
+	// filesystem; production code has no reason to set it.
+	walFS wal.VFS
+}
+
+// RecoveryInfo describes what NewIndexWith found in Options.WALDir.
+type RecoveryInfo struct {
+	// Recovered reports whether any prior state (snapshot or log
+	// records) was found and restored.
+	Recovered bool
+	// FromSnapshot counts items loaded from the snapshot.
+	FromSnapshot int
+	// Replayed counts log-tail records re-applied after the snapshot.
+	Replayed int
+	// TornTail reports whether the log ended in a torn (incomplete or
+	// checksum-failing) record that recovery truncated — the signature
+	// of a crash mid-append.
+	TornTail bool
 }
 
 // Index is a searchable trajectory database: it stores each trajectory's
@@ -83,9 +136,11 @@ type Index struct {
 	opts Options
 	eng  *engine.Engine
 
-	mu    sync.RWMutex // guards trajs and embs
-	trajs []Trajectory
-	embs  [][]float64
+	mu    sync.RWMutex // guards trajs, embs, and the store
+	trajs []Trajectory // indexed by global id; nil at deleted ids
+	embs  [][]float64  // indexed by global id; nil at deleted ids
+	store *wal.Store   // nil when Options.WALDir is empty
+	rec   RecoveryInfo
 }
 
 // NewIndex embeds and indexes the given trajectories with an encoder
@@ -102,6 +157,14 @@ func NewIndex(enc Encoder, ts []Trajectory) (*Index, error) {
 // NewIndexWith embeds and indexes the given trajectories (which may be
 // empty) with explicit Options. The initial batch is embedded in parallel
 // across opts.Workers goroutines.
+//
+// With Options.WALDir set, the directory's prior state is recovered
+// first (snapshot + log-tail replay; see RecoveryInfo). The initial
+// batch then only seeds an EMPTY index: when recovery restored any
+// items, ts is ignored — otherwise every restart of a process that
+// passes its dataset here would re-index it on top of the recovered
+// copy. Use Recovery to observe which path was taken, and Close to
+// release the durability layer when done.
 func NewIndexWith(enc Encoder, ts []Trajectory, opts Options) (*Index, error) {
 	if enc == nil {
 		return nil, fmt.Errorf("traj2hash: nil encoder")
@@ -114,10 +177,11 @@ func NewIndexWith(enc Encoder, ts []Trajectory, opts Options) (*Index, error) {
 		// The configured backend serves Search/SearchBatch; the three
 		// paper strategies are always maintained (the scans cost only a
 		// slice header each; the hybrid table also serves Within).
-		Backends: []string{backend, BackendEuclideanBF, BackendHammingBF, BackendHammingHybrid},
-		Shards:   opts.Shards,
-		Workers:  opts.Workers,
-		Metrics:  opts.Metrics,
+		Backends:  []string{backend, BackendEuclideanBF, BackendHammingBF, BackendHammingHybrid},
+		Shards:    opts.Shards,
+		Workers:   opts.Workers,
+		CompactAt: opts.CompactAt,
+		Metrics:   opts.Metrics,
 		Config: engine.Config{
 			Bits:      enc.Dim(),
 			MIHChunks: opts.MIHChunks,
@@ -128,11 +192,25 @@ func NewIndexWith(enc Encoder, ts []Trajectory, opts Options) (*Index, error) {
 		return nil, err
 	}
 	ix := &Index{enc: enc, opts: opts, eng: eng}
+	if opts.WALDir != "" {
+		if err := ix.openWAL(); err != nil {
+			return nil, err
+		}
+	}
+	if ix.rec.Recovered {
+		return ix, nil
+	}
 	if _, err := ix.AddBatch(ts); err != nil {
+		//lint:ignore errcheck the batch error takes precedence over the store cleanup close
+		ix.Close()
 		return nil, err
 	}
 	return ix, nil
 }
+
+// Recovery reports what NewIndexWith found in Options.WALDir (the zero
+// RecoveryInfo for an in-memory index or a fresh directory).
+func (ix *Index) Recovery() RecoveryInfo { return ix.rec }
 
 // Add embeds and indexes one more trajectory, returning its id.
 func (ix *Index) Add(t Trajectory) (int, error) {
@@ -162,37 +240,47 @@ func (ix *Index) AddBatch(ts []Trajectory) ([]int, error) {
 	return ids, nil
 }
 
-// add indexes one embedded trajectory; callers hold ix.mu, which keeps
-// the engine's sequential ids aligned with ix.trajs/ix.embs positions.
+// add indexes one embedded trajectory and logs it durably when a WAL is
+// configured; callers hold ix.mu, which keeps the engine's sequential
+// ids aligned with ix.trajs/ix.embs positions.
 func (ix *Index) add(t Trajectory, emb []float64) (int, error) {
-	id, err := ix.eng.Add(emb, hamming.FromSigns(emb))
+	code := hamming.FromSigns(emb)
+	id, err := ix.eng.Add(emb, code)
 	if err != nil {
 		return 0, err
 	}
 	ix.trajs = append(ix.trajs, t)
 	ix.embs = append(ix.embs, emb)
+	if err := ix.logMutation(wal.Record{Op: wal.OpAdd, ID: id, Emb: emb, Code: code, Traj: flattenTraj(t)}); err != nil {
+		return 0, err
+	}
 	return id, nil
 }
 
-// Len returns the number of indexed trajectories.
-func (ix *Index) Len() int {
+// Len returns the number of live (non-deleted) indexed trajectories.
+func (ix *Index) Len() int { return ix.eng.Len() }
+
+// Trajectory returns the indexed trajectory with the given id. The
+// boolean is false — with a zero trajectory — when id is out of range or
+// was deleted; it never panics and never returns stale post-delete data.
+func (ix *Index) Trajectory(id int) (Trajectory, bool) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return len(ix.trajs)
+	if !ix.eng.Live(id) {
+		return nil, false
+	}
+	return ix.trajs[id], true
 }
 
-// Trajectory returns the indexed trajectory with the given id.
-func (ix *Index) Trajectory(id int) Trajectory {
+// Embedding returns the stored Euclidean-space embedding of id. The
+// boolean is false when id is out of range or was deleted.
+func (ix *Index) Embedding(id int) ([]float64, bool) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.trajs[id]
-}
-
-// Embedding returns the stored Euclidean-space embedding of id.
-func (ix *Index) Embedding(id int) []float64 {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.embs[id]
+	if !ix.eng.Live(id) {
+		return nil, false
+	}
+	return ix.embs[id], true
 }
 
 // Backend returns the name of the backend serving Search/SearchBatch.
@@ -364,10 +452,14 @@ func (ix *Index) ApproxDistance(q Trajectory, id int) float64 {
 
 // ApproxDistanceByVec is ApproxDistance with a precomputed query
 // embedding (from Encoder.Embed), amortizing the encoder forward pass over
-// repeated distance evaluations.
+// repeated distance evaluations. An out-of-range or deleted id has no
+// distance: the result is NaN.
 func (ix *Index) ApproxDistanceByVec(qe []float64, id int) float64 {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	if !ix.eng.Live(id) {
+		return math.NaN()
+	}
 	emb := ix.embs[id]
 	var sum float64
 	for j := range qe {

@@ -40,17 +40,28 @@ type Result struct {
 	Score float64
 }
 
-// Backend is one pluggable top-k search strategy over an append-only
-// item collection. Items get local ids 0,1,2,… in insertion order.
+// Backend is one pluggable top-k search strategy over an item collection.
+// Items get local ids 0,1,2,… in insertion order; Update replaces an
+// item's representation under its existing local id, so the id order
+// (and with it the deterministic tie-break contract) survives mutation.
+// Deletion is NOT a backend concern: the Engine overlays a tombstone
+// bitmap on the local id space and filters on the search paths, then
+// rebuilds backends wholesale at compaction (see engine Delete/Compact).
 //
 // Backends are NOT goroutine-safe by themselves: the Engine (or any other
-// caller) must serialize Add against Search. Concurrent Searches are safe.
+// caller) must serialize Add/Update against Search. Concurrent Searches
+// are safe.
 type Backend interface {
 	// Name returns the registry name of the strategy.
 	Name() string
 	// Add appends one item. The embedding and code must be consistent
 	// with previously added items (same dimension / bit length).
 	Add(emb []float64, code hamming.Code) error
+	// Update replaces the item stored under local id in place, keeping
+	// its id and insertion-order position. The new embedding and code
+	// must be consistent with the collection (same dimension / bit
+	// length); an out-of-range id is an error.
+	Update(local int, emb []float64, code hamming.Code) error
 	// Search returns the top-k local ids for the query, sorted ascending
 	// by (Score, ID).
 	Search(q Query, k int) []Result
@@ -194,6 +205,18 @@ func (b *EuclideanBF) Add(emb []float64, _ hamming.Code) error {
 	return nil
 }
 
+// Update implements Backend.
+func (b *EuclideanBF) Update(local int, emb []float64, _ hamming.Code) error {
+	if local < 0 || local >= len(b.embs) {
+		return fmt.Errorf("engine: %s update of unknown id %d (have %d)", EuclideanBFName, local, len(b.embs))
+	}
+	if len(emb) != len(b.embs[local]) {
+		return fmt.Errorf("engine: embedding dim %d, want %d", len(emb), len(b.embs[local]))
+	}
+	b.embs[local] = emb
+	return nil
+}
+
 // Search implements Backend.
 func (b *EuclideanBF) Search(q Query, k int) []Result {
 	if len(q.Emb) == 0 {
@@ -244,6 +267,11 @@ func (b *HammingBF) Add(_ []float64, code hamming.Code) error {
 	return nil
 }
 
+// Update implements Backend.
+func (b *HammingBF) Update(local int, _ []float64, code hamming.Code) error {
+	return updateTable(b.table, HammingBFName, local, code)
+}
+
 // Search implements Backend.
 func (b *HammingBF) Search(q Query, k int) []Result {
 	if b.table == nil || q.Code.Bits == 0 {
@@ -272,6 +300,19 @@ func addToTable(tp **hamming.Table, want int, code hamming.Code) (*hamming.Table
 		return nil, err
 	}
 	return *tp, nil
+}
+
+// updateTable validates and applies an in-place code replacement on a
+// lazily-created table (nil = nothing was ever added, so any id is
+// unknown).
+func updateTable(t *hamming.Table, name string, local int, code hamming.Code) error {
+	if code.Bits == 0 {
+		return fmt.Errorf("engine: %s needs a non-empty code", name)
+	}
+	if t == nil {
+		return fmt.Errorf("engine: %s update of unknown id %d (empty backend)", name, local)
+	}
+	return t.Update(local, code)
 }
 
 // --- hamming-hybrid ---
@@ -305,6 +346,11 @@ func (b *HammingHybrid) Add(_ []float64, code hamming.Code) error {
 	}
 	b.table = t
 	return nil
+}
+
+// Update implements Backend.
+func (b *HammingHybrid) Update(local int, _ []float64, code hamming.Code) error {
+	return updateTable(b.table, HammingHybridName, local, code)
 }
 
 // Search implements Backend.
@@ -385,6 +431,17 @@ func (b *MIHBackend) Add(_ []float64, code hamming.Code) error {
 	return err
 }
 
+// Update implements Backend.
+func (b *MIHBackend) Update(local int, _ []float64, code hamming.Code) error {
+	if code.Bits == 0 {
+		return fmt.Errorf("engine: %s needs a non-empty code", MIHName)
+	}
+	if b.idx == nil {
+		return fmt.Errorf("engine: %s update of unknown id %d (empty backend)", MIHName, local)
+	}
+	return b.idx.Update(local, code)
+}
+
 // defaultMIHChunks picks 4 substrings, widened when the code is too long
 // for 64-bit chunk words and narrowed for very short codes.
 func defaultMIHChunks(bits int) int {
@@ -443,6 +500,22 @@ func (b *VPTreeBackend) Add(emb []float64, _ hamming.Code) error {
 		return fmt.Errorf("engine: embedding dim %d, want %d", len(emb), len(b.vecs[0]))
 	}
 	b.vecs = append(b.vecs, emb)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tree = nil
+	return nil
+}
+
+// Update implements Backend. The tree is invalidated and rebuilt lazily
+// on the next Search, like Add.
+func (b *VPTreeBackend) Update(local int, emb []float64, _ hamming.Code) error {
+	if local < 0 || local >= len(b.vecs) {
+		return fmt.Errorf("engine: %s update of unknown id %d (have %d)", VPTreeName, local, len(b.vecs))
+	}
+	if len(emb) != len(b.vecs[local]) {
+		return fmt.Errorf("engine: embedding dim %d, want %d", len(emb), len(b.vecs[local]))
+	}
+	b.vecs[local] = emb
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.tree = nil

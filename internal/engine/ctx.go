@@ -160,6 +160,12 @@ func fanOut[T any](ctx context.Context, n, workers int, fn func(i int) (T, error
 // shard's read lock released on the way out (defer keeps the lock
 // discipline panic-safe).
 //
+// Tombstones: when the shard carries deleted items the backend is asked
+// for k+deadN results and the dead ones are filtered out. That
+// over-fetch is exact, not heuristic — at most deadN dead items can
+// outrank a live one, so every member of the live top-k has backend rank
+// below k+deadN and survives the cut.
+//
 // Timing note: the shard latency histogram is observed HERE, inside the
 // fan-out worker, not around the merge at the collection site — so a
 // slow shard is attributable to its own engine.shard.seconds.<backend>.<i>
@@ -185,10 +191,20 @@ func (e *Engine) searchShard(bi, si int, q Query, k int) (rs []Result, err error
 	}()
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	raw := sh.backends[bi].Search(q, k)
-	out := make([]Result, len(raw))
-	for i, r := range raw {
-		out[i] = Result{ID: sh.ids[r.ID], Score: r.Score}
+	fetch := k
+	if sh.deadN > 0 {
+		fetch = k + sh.deadN
+	}
+	raw := sh.backends[bi].Search(q, fetch)
+	out := make([]Result, 0, min(k, len(raw)))
+	for _, r := range raw {
+		if sh.dead[r.ID] {
+			continue
+		}
+		out = append(out, Result{ID: sh.ids[r.ID], Score: r.Score})
+		if len(out) == k {
+			break
+		}
 	}
 	return out, nil
 }
@@ -377,7 +393,9 @@ func (e *Engine) WithinCtx(ctx context.Context, code hamming.Code, radius int) (
 	return all, st, nil
 }
 
-// withinShard is the panic-isolated per-shard radius lookup.
+// withinShard is the panic-isolated per-shard radius lookup. Deleted
+// items are filtered here, at the local→global remap, so a tombstoned id
+// never appears in a Within answer.
 func (e *Engine) withinShard(bi, si int, code hamming.Code, radius int) (ids []int, err error) {
 	sh := e.shards[si]
 	defer func() {
@@ -391,9 +409,12 @@ func (e *Engine) withinShard(bi, si int, code hamming.Code, radius int) (ids []i
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	local := sh.backends[bi].(radiusSearcher).Within(code, radius)
-	global := make([]int, len(local))
-	for i, id := range local {
-		global[i] = sh.ids[id]
+	global := make([]int, 0, len(local))
+	for _, id := range local {
+		if sh.dead[id] {
+			continue
+		}
+		global = append(global, sh.ids[id])
 	}
 	return global, nil
 }

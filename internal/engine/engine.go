@@ -25,6 +25,15 @@ type Options struct {
 	// Workers bounds the engine's parallelism: the per-query shard
 	// fan-out and the SearchBatch query fan-out (default GOMAXPROCS).
 	Workers int
+	// CompactAt is the tombstone-density threshold that triggers a shard
+	// compaction at the end of the Delete that crosses it: when
+	// deleted/total for a shard reaches the threshold, the shard's
+	// backends are rebuilt over the live items only (MIH buckets and
+	// VP-trees do not shrink incrementally). 0 means the default of 0.25;
+	// a negative value disables automatic compaction (Compact can still
+	// be called explicitly). Compaction never changes answers — only the
+	// cost of computing them.
+	CompactAt float64
 	// Metrics, when non-nil, receives the engine's runtime metrics and
 	// spans (per-backend/per-shard search latency, merge latency,
 	// candidate counts, shard panic recoveries, degraded answers — see
@@ -37,6 +46,10 @@ type Options struct {
 	Config Config
 }
 
+// DefaultCompactAt is the tombstone-density threshold used when
+// Options.CompactAt is zero.
+const DefaultCompactAt = 0.25
+
 func (o Options) withDefaults() Options {
 	if len(o.Backends) == 0 {
 		o.Backends = []string{HammingHybridName}
@@ -47,15 +60,33 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	//lint:ignore floatcompare 0 is the field's exact "not set" sentinel, never a computed value
+	if o.CompactAt == 0 {
+		o.CompactAt = DefaultCompactAt
+	}
 	return o
 }
 
 // shard is one partition of the database: the global ids of its items
-// (ascending, thanks to round-robin assignment under the add lock) and
-// one backend instance per configured backend name.
+// (ascending, thanks to round-robin assignment under the add lock), one
+// backend instance per configured backend name, the canonical item
+// representations (embedding + code, parallel to ids — the source of
+// truth compaction and durability snapshots rebuild from), and the
+// tombstone overlay (dead bitmap + count) that Delete maintains and the
+// search paths filter through.
+//
+// Liveness invariant: the live entries of ids are strictly ascending —
+// Add appends increasing ids, Delete only flips dead bits, Update
+// replaces in place, and compaction preserves order — which is what keeps
+// per-backend local-id tie-breaks equal to global-id tie-breaks after any
+// mutation history.
 type shard struct {
 	mu       sync.RWMutex
 	ids      []int
+	embs     [][]float64
+	codes    []hamming.Code
+	dead     []bool
+	deadN    int
 	backends []Backend
 }
 
@@ -73,9 +104,20 @@ type Engine struct {
 	met   *metrics // nil when Options.Metrics is nil (uninstrumented)
 
 	addMu sync.Mutex
-	next  int // next global id, guarded by addMu
+	next  int   // next global id, guarded by addMu
+	live  int   // live (non-deleted) item count, guarded by addMu
+	dim   int   // embedding dimension, fixed by the first Add (0 = none yet)
+	locs  []loc // global id → (shard, local); local < 0 marks a deleted id
 
 	shards []*shard
+}
+
+// loc places one global id inside the sharded store. A negative local
+// index is the engine-level tombstone: the id existed and was deleted
+// (its per-shard slot may already have been reclaimed by compaction).
+type loc struct {
+	shard int
+	local int
 }
 
 // metrics caches the engine's instruments, resolved once at construction
@@ -83,14 +125,17 @@ type Engine struct {
 // are nil-safe, but a nil *metrics short-circuits even the time.Now calls
 // — that is the documented "no-op registry" baseline.
 type metrics struct {
-	searches   *obs.Counter       // engine.search.total
-	degraded   *obs.Counter       // search.degraded
-	panics     *obs.Counter       // engine.shard.panics
-	candidates *obs.Histogram     // engine.search.candidates
-	mergeLat   *obs.Histogram     // engine.merge.seconds
-	shardLat   [][]*obs.Histogram // [backend][shard] engine.shard.seconds.<backend>.<shard>
-	spanNames  []string           // per-backend span names, precomputed
-	tracer     *obs.Tracer
+	searches    *obs.Counter       // engine.search.total
+	degraded    *obs.Counter       // search.degraded
+	panics      *obs.Counter       // engine.shard.panics
+	deletes     *obs.Counter       // engine.deletes
+	updates     *obs.Counter       // engine.updates
+	compactions *obs.Counter       // engine.compactions
+	candidates  *obs.Histogram     // engine.search.candidates
+	mergeLat    *obs.Histogram     // engine.merge.seconds
+	shardLat    [][]*obs.Histogram // [backend][shard] engine.shard.seconds.<backend>.<shard>
+	spanNames   []string           // per-backend span names, precomputed
+	tracer      *obs.Tracer
 }
 
 // newMetrics resolves the engine's instruments against reg. The
@@ -98,12 +143,15 @@ type metrics struct {
 // they merge exactly into a global latency distribution.
 func newMetrics(reg *obs.Registry, names []string, shards int) *metrics {
 	m := &metrics{
-		searches:   reg.Counter("engine.search.total"),
-		degraded:   reg.Counter("search.degraded"),
-		panics:     reg.Counter("engine.shard.panics"),
-		candidates: reg.Histogram("engine.search.candidates", obs.CountBounds()),
-		mergeLat:   reg.Histogram("engine.merge.seconds", obs.LatencyBounds()),
-		tracer:     reg.Tracer(),
+		searches:    reg.Counter("engine.search.total"),
+		degraded:    reg.Counter("search.degraded"),
+		panics:      reg.Counter("engine.shard.panics"),
+		deletes:     reg.Counter("engine.deletes"),
+		updates:     reg.Counter("engine.updates"),
+		compactions: reg.Counter("engine.compactions"),
+		candidates:  reg.Histogram("engine.search.candidates", obs.CountBounds()),
+		mergeLat:    reg.Histogram("engine.merge.seconds", obs.LatencyBounds()),
+		tracer:      reg.Tracer(),
 	}
 	m.shardLat = make([][]*obs.Histogram, len(names))
 	m.spanNames = make([]string, len(names))
@@ -159,44 +207,88 @@ func (e *Engine) Backends() []string { return append([]string(nil), e.names...) 
 // Shards returns the shard count.
 func (e *Engine) Shards() int { return len(e.shards) }
 
-// Len returns the number of indexed items.
+// Len returns the number of live (non-deleted) indexed items.
 func (e *Engine) Len() int {
+	e.addMu.Lock()
+	defer e.addMu.Unlock()
+	return e.live
+}
+
+// NextID returns the next global id Add would assign — equivalently, the
+// number of ids ever assigned, deleted ones included. It only equals Len
+// while nothing has been deleted.
+func (e *Engine) NextID() int {
 	e.addMu.Lock()
 	defer e.addMu.Unlock()
 	return e.next
 }
 
+// Live reports whether id names an indexed, non-deleted item.
+func (e *Engine) Live(id int) bool {
+	e.addMu.Lock()
+	defer e.addMu.Unlock()
+	return id >= 0 && id < e.next && e.locs[id].local >= 0
+}
+
 // Add indexes one item in every backend of its shard and returns its
-// global id. Ids are assigned sequentially from 0 in call order. If the
-// code is zero, it is derived from the embedding's signs (the model's
-// Code = sign(Embed) convention).
+// global id. Ids are assigned sequentially from 0 in call order (deleted
+// ids are never reused). If the code is zero, it is derived from the
+// embedding's signs (the model's Code = sign(Embed) convention); an
+// explicitly provided code must have one bit per embedding dimension —
+// the same convention — so the two representations always describe the
+// same item.
 func (e *Engine) Add(emb []float64, code hamming.Code) (int, error) {
 	if len(emb) == 0 {
 		return 0, fmt.Errorf("engine: empty embedding")
 	}
 	if code.Bits == 0 {
 		code = hamming.FromSigns(emb)
+	} else if code.Bits != len(emb) {
+		return 0, fmt.Errorf("engine: code has %d bits but the embedding has dim %d (the Code = sign(Embed) convention requires one bit per dimension)",
+			code.Bits, len(emb))
 	}
 	e.addMu.Lock()
 	defer e.addMu.Unlock()
+	// Dimension is an engine-wide invariant, enforced here rather than
+	// per backend: with several shards, a drifting add would otherwise
+	// land on a still-empty shard whose backends have nothing to compare
+	// against. It is pinned only after a fully successful add.
+	if e.dim != 0 && len(emb) != e.dim {
+		return 0, fmt.Errorf("engine: embedding dim %d, want %d", len(emb), e.dim)
+	}
 	id := e.next
-	sh := e.shards[id%len(e.shards)]
+	si := id % len(e.shards)
+	sh := e.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	for i, b := range sh.backends {
+	if err := addToBackends(sh.backends, emb, code); err != nil {
+		return 0, err
+	}
+	e.dim = len(emb)
+	sh.ids = append(sh.ids, id)
+	sh.embs = append(sh.embs, emb)
+	sh.codes = append(sh.codes, code)
+	sh.dead = append(sh.dead, false)
+	e.locs = append(e.locs, loc{shard: si, local: len(sh.ids) - 1})
+	e.next++
+	e.live++
+	return id, nil
+}
+
+// addToBackends feeds one item to every backend of a shard. A failure on
+// the first backend is a clean validation error; a failure after at least
+// one backend accepted the item means the shard's backends now disagree,
+// which is surfaced loudly (rolling back would require removal support).
+func addToBackends(backends []Backend, emb []float64, code hamming.Code) error {
+	for i, b := range backends {
 		if err := b.Add(emb, code); err != nil {
-			// Roll back the backends that already accepted the item would
-			// require removal support; instead verify up-front invariants
-			// failed and surface the inconsistency loudly.
 			if i > 0 {
-				return 0, fmt.Errorf("engine: shard inconsistent after partial add: %w", err)
+				return fmt.Errorf("engine: shard inconsistent after partial add: %w", err)
 			}
-			return 0, err
+			return err
 		}
 	}
-	sh.ids = append(sh.ids, id)
-	e.next++
-	return id, nil
+	return nil
 }
 
 // AddBatch indexes a batch, returning the assigned ids. codes may be nil

@@ -142,6 +142,13 @@ func (b *faultyBackend) Add(emb []float64, code hamming.Code) error {
 	return b.inner.Add(emb, code)
 }
 
+// Update implements engine.Backend, passing straight through like Add:
+// the failure domains under test are the read paths and the durability
+// layer (see fs.go), not in-memory mutation.
+func (b *faultyBackend) Update(local int, emb []float64, code hamming.Code) error {
+	return b.inner.Update(local, emb, code)
+}
+
 // Search implements engine.Backend, firing the instance's scheduled
 // faults before delegating: sleep first (so a slow shard can also be a
 // panicking one), then the deterministic panic, then the seeded chaos

@@ -1,0 +1,249 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"traj2hash/internal/wal"
+)
+
+// ErrCrashed is the error every filesystem operation returns after an
+// injected fault has fired: the FS behaves as if the process died at the
+// fault instant — nothing later reaches disk. Recovery tests then reopen
+// the SAME directory through a fresh (healthy) FS, exactly like a
+// restarted process would.
+var ErrCrashed = errors.New("faultinject: filesystem crashed")
+
+// FS wraps a wal.VFS with a deterministic fault schedule over the
+// write-side operations the durability layer performs. Operations are
+// counted per kind (file writes, file fsyncs, renames) and a fault fires
+// when its 1-based operation index is reached:
+//
+//   - ShortWriteAt(n): the n-th File.Write persists only half its bytes,
+//     then the FS crashes — the literal torn-record case.
+//   - FailSyncAt(n): the n-th File.Sync fails without flushing, then the
+//     FS crashes — data handed to the OS but never made durable.
+//   - FailRenameAt(n): the n-th Rename fails before renaming, then the
+//     FS crashes — a snapshot fully written but never published.
+//
+// Crash-at-every-point suites first run the workload on a counting-only
+// FS to learn how many operations of each kind it performs, then replay
+// it once per index with the fault scheduled there. An FS is safe for
+// concurrent use; the schedule must be configured before the workload
+// starts.
+type FS struct {
+	inner wal.VFS
+
+	mu           sync.Mutex
+	writes       int
+	syncs        int
+	renames      int
+	shortWriteAt int
+	failSyncAt   int
+	failRenameAt int
+	crashed      bool
+}
+
+// NewFS wraps inner (nil means the real filesystem, wal.OSFS) with an
+// empty fault schedule — a pure operation counter until faults are armed.
+func NewFS(inner wal.VFS) *FS {
+	if inner == nil {
+		inner = wal.OSFS{}
+	}
+	return &FS{inner: inner}
+}
+
+// ShortWriteAt arms the short-write fault at the 1-based write index n
+// (0 disarms).
+func (f *FS) ShortWriteAt(n int) { f.mu.Lock(); defer f.mu.Unlock(); f.shortWriteAt = n }
+
+// FailSyncAt arms the fsync fault at the 1-based sync index n (0 disarms).
+func (f *FS) FailSyncAt(n int) { f.mu.Lock(); defer f.mu.Unlock(); f.failSyncAt = n }
+
+// FailRenameAt arms the rename fault at the 1-based rename index n
+// (0 disarms).
+func (f *FS) FailRenameAt(n int) { f.mu.Lock(); defer f.mu.Unlock(); f.failRenameAt = n }
+
+// Crashed reports whether a fault has fired (and the FS is now dead).
+func (f *FS) Crashed() bool { f.mu.Lock(); defer f.mu.Unlock(); return f.crashed }
+
+// Counts returns how many file writes, file fsyncs, and renames the
+// workload has performed so far — the coordinates crash-at-every-point
+// suites schedule faults over.
+func (f *FS) Counts() (writes, syncs, renames int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes, f.syncs, f.renames
+}
+
+// guard is the common prologue of pass-through operations: fail
+// everything once crashed.
+func (f *FS) guard() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// MkdirAll implements wal.VFS.
+func (f *FS) MkdirAll(dir string) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+// ReadFile implements wal.VFS.
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	if err := f.guard(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(path)
+}
+
+// Create implements wal.VFS.
+func (f *FS) Create(path string) (wal.File, error) {
+	if err := f.guard(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, inner: inner}, nil
+}
+
+// OpenAppend implements wal.VFS.
+func (f *FS) OpenAppend(path string) (wal.File, error) {
+	if err := f.guard(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, inner: inner}, nil
+}
+
+// renameFault counts one rename and decides its fate under the lock.
+func (f *FS) renameFault() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.renames++
+	if f.failRenameAt > 0 && f.renames == f.failRenameAt {
+		f.crashed = true
+		return fmt.Errorf("faultinject: injected rename failure (rename %d): %w", f.failRenameAt, ErrCrashed)
+	}
+	return nil
+}
+
+// Rename implements wal.VFS, firing the scheduled rename fault BEFORE
+// the rename happens — the "snapshot written but never published" crash.
+func (f *FS) Rename(oldPath, newPath string) error {
+	if err := f.renameFault(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+// Remove implements wal.VFS.
+func (f *FS) Remove(path string) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+// Truncate implements wal.VFS.
+func (f *FS) Truncate(path string, size int64) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(path, size)
+}
+
+// SyncDir implements wal.VFS. Directory syncs pass through (subject to
+// the crashed state); the scheduled sync fault targets file fsyncs,
+// where the durability protocol actually orders data.
+func (f *FS) SyncDir(dir string) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultyFile threads every write and fsync of one open file through the
+// FS's schedule. Close always closes the real handle (even after a
+// crash) so tests never leak file descriptors.
+type faultyFile struct {
+	fs    *FS
+	inner wal.File
+}
+
+// writeFault counts one write and decides its fate under the lock:
+// tear=true means this write is the scheduled short write (and the FS
+// is now crashed).
+func (f *FS) writeFault() (tear bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return false, ErrCrashed
+	}
+	f.writes++
+	if f.shortWriteAt > 0 && f.writes == f.shortWriteAt {
+		f.crashed = true
+		return true, nil
+	}
+	return false, nil
+}
+
+// syncFault counts one fsync and decides its fate under the lock.
+func (f *FS) syncFault() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.syncs++
+	if f.failSyncAt > 0 && f.syncs == f.failSyncAt {
+		f.crashed = true
+		return fmt.Errorf("faultinject: injected fsync failure (sync %d): %w", f.failSyncAt, ErrCrashed)
+	}
+	return nil
+}
+
+// Write implements wal.File. The scheduled short write persists the
+// first half of p and then crashes the FS — producing a literally torn
+// record on the real file, which is what the recovery path must detect
+// and truncate.
+func (w *faultyFile) Write(p []byte) (int, error) {
+	tear, err := w.fs.writeFault()
+	if err != nil {
+		return 0, err
+	}
+	if tear {
+		//lint:ignore errcheck the injected error below supersedes the real half-write's outcome
+		n, _ := w.inner.Write(p[:len(p)/2])
+		return n, fmt.Errorf("faultinject: injected short write (%d of %d bytes): %w", len(p)/2, len(p), ErrCrashed)
+	}
+	return w.inner.Write(p)
+}
+
+// Sync implements wal.File. A scheduled sync failure does NOT flush —
+// the bytes may be in the OS cache of the test process, but the modeled
+// machine lost them.
+func (w *faultyFile) Sync() error {
+	if err := w.fs.syncFault(); err != nil {
+		return err
+	}
+	return w.inner.Sync()
+}
+
+// Close implements wal.File.
+func (w *faultyFile) Close() error { return w.inner.Close() }

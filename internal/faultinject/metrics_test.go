@@ -12,6 +12,7 @@ import (
 	"traj2hash/internal/engine"
 	"traj2hash/internal/hamming"
 	"traj2hash/internal/obs"
+	"traj2hash/internal/wal"
 )
 
 // instrumentedFaultyEngine is faultyEngine with an obs registry attached.
@@ -235,4 +236,97 @@ func TestChaosPanicsAllVisible(t *testing.T) {
 	if got := s.Counters["search.degraded"]; got != degraded {
 		t.Errorf("search.degraded = %d, want %d", got, degraded)
 	}
+}
+
+// TestMutationAndWALMetricsExact is the satellite-(f) acceptance check:
+// the mutability and durability layers are observable with EXACT
+// deltas. A scripted engine workload must move engine.deletes and
+// engine.compactions by precisely the scripted amounts, and a WAL
+// workload crashed mid-append by an injected short write must surface
+// as exactly one wal.recoveries and one wal.torn_tails on reopen, with
+// wal.appends/wal.fsyncs counting only the operations that succeeded.
+func TestMutationAndWALMetricsExact(t *testing.T) {
+	reg := obs.New()
+
+	// Engine side: 10 vectors on 2 shards, 4 deletes with automatic
+	// compaction disabled, then one explicit Compact — which rebuilds
+	// exactly the two shards holding tombstones.
+	Register()
+	rng := rand.New(rand.NewSource(83))
+	e, err := engine.New(engine.Options{
+		Backends:  []string{BackendName},
+		Shards:    2,
+		Workers:   2,
+		CompactAt: -1,
+		Metrics:   reg,
+		Config:    engine.Config{Hooks: &Faults{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range testVecs(rng, 10, 8) {
+		if _, err := e.Add(v, hamming.Code{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := 0; id < 4; id++ {
+		if err := e.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	// WAL side: a store through a fault-injected FS. The log's magic
+	// header is write 1 and each appended record is one more write, so
+	// arming the short write at index 5 tears the FOURTH record.
+	dir := t.TempDir()
+	fs := NewFS(nil)
+	fs.ShortWriteAt(5)
+	s, _, err := wal.Open(wal.Options{Dir: dir, Metrics: reg, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := wal.Record{Op: wal.OpAdd, Emb: []float64{1, 2}, Code: hamming.Code{Bits: 2, Words: []uint64{3}}}
+	for i := 0; i < 3; i++ {
+		rec.ID = i
+		if err := s.Append(rec); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	rec.ID = 3
+	if err := s.Append(rec); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn append = %v, want ErrCrashed", err)
+	}
+	//lint:ignore errcheck the store crashed mid-append; Close only releases the dead handle
+	s.Close()
+
+	s2, recovered, err := wal.Open(wal.Options{Dir: dir, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		//lint:ignore errcheck test cleanup close
+		s2.Close()
+	}()
+	if !recovered.TornTail || len(recovered.Tail) != 3 {
+		t.Fatalf("recovered torn=%v tail=%d, want true/3", recovered.TornTail, len(recovered.Tail))
+	}
+
+	snap := reg.Snapshot()
+	want := map[string]int64{
+		"engine.deletes":     4,
+		"engine.compactions": 2, // one per shard holding tombstones
+		"wal.appends":        3, // the torn fourth append never counts
+		"wal.fsyncs":         3, // one group fsync per successful append (SyncEvery=1)
+		"wal.recoveries":     1, // only the reopen found prior state
+		"wal.torn_tails":     1,
+	}
+	for name, w := range want {
+		if got := snap.Counters[name]; got != w {
+			t.Errorf("%s = %d, want %d", name, got, w)
+		}
+	}
+	exportMetricsArtifact(t, reg)
 }

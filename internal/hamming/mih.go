@@ -76,6 +76,53 @@ func (m *MIH) Add(c Code) (int, error) {
 	return id, nil
 }
 
+// Update replaces the code stored under id in place: for every chunk the
+// id moves from the old substring's bucket to the new one and the scan
+// array entry is overwritten, so id assignment and insertion order are
+// untouched (the engine's tie-break contract under mutation). The new
+// code's length must match the index's.
+func (m *MIH) Update(id int, c Code) error {
+	if id < 0 || id >= len(m.codes) {
+		return fmt.Errorf("hamming: update of unknown id %d (have %d codes)", id, len(m.codes))
+	}
+	if c.Bits != m.bits {
+		return fmt.Errorf("hamming: code has %d bits, MIH has %d", c.Bits, m.bits)
+	}
+	old := m.codes[id]
+	if Equal(old, c) {
+		return nil
+	}
+	oldSubs := m.substrings(old)
+	for ci, sub := range m.substrings(c) {
+		if sub == oldSubs[ci] {
+			continue
+		}
+		m.removeFromChunk(ci, oldSubs[ci], id)
+		m.tables[ci][sub] = append(m.tables[ci][sub], id)
+	}
+	m.codes[id] = c
+	return nil
+}
+
+// removeFromChunk deletes id from one chunk table's bucket, dropping the
+// bucket when it empties (bucket order is irrelevant: CandidatesInto
+// sorts the gathered ids before returning them).
+func (m *MIH) removeFromChunk(ci int, sub uint64, id int) {
+	ids := m.tables[ci][sub]
+	for i, v := range ids {
+		if v == id {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(m.tables[ci], sub)
+		return
+	}
+	m.tables[ci][sub] = ids
+}
+
 // Len returns the number of indexed codes.
 func (m *MIH) Len() int { return len(m.codes) }
 

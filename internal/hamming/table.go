@@ -75,6 +75,80 @@ func (t *Table) Add(c Code) (int, error) {
 	return id, nil
 }
 
+// Update replaces the code stored under id in place: the id moves from
+// its old bucket to the new code's bucket and the scan array entry is
+// overwritten, so id assignment and insertion order are untouched — the
+// property the engine's deterministic tie-break contract relies on when
+// items are updated after deletes. The new code's length must match the
+// table's.
+func (t *Table) Update(id int, c Code) error {
+	if id < 0 || id >= len(t.codes) {
+		return fmt.Errorf("hamming: update of unknown id %d (have %d codes)", id, len(t.codes))
+	}
+	if c.Bits != t.bits {
+		return fmt.Errorf("hamming: code has %d bits, table has %d", c.Bits, t.bits)
+	}
+	old := t.codes[id]
+	if Equal(old, c) {
+		return nil
+	}
+	if t.fast != nil {
+		t.removeFast(old.Words[0], id)
+		w := c.Words[0]
+		if _, ok := t.fast[w]; !ok {
+			t.buckets++
+		}
+		t.fast[w] = append(t.fast[w], id)
+	} else {
+		t.removeSlow(old.Key(), id)
+		k := c.Key()
+		if _, ok := t.slow[k]; !ok {
+			t.buckets++
+		}
+		t.slow[k] = append(t.slow[k], id)
+	}
+	t.codes[id] = c
+	return nil
+}
+
+// removeFast deletes id from the single-word bucket w, dropping the
+// bucket entirely when it empties (bucket order is irrelevant: every
+// consumer sorts ids before use).
+func (t *Table) removeFast(w uint64, id int) {
+	ids := t.fast[w]
+	for i, v := range ids {
+		if v == id {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(t.fast, w)
+		t.buckets--
+		return
+	}
+	t.fast[w] = ids
+}
+
+// removeSlow is removeFast for the multi-word string-keyed buckets.
+func (t *Table) removeSlow(k string, id int) {
+	ids := t.slow[k]
+	for i, v := range ids {
+		if v == id {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(t.slow, k)
+		t.buckets--
+		return
+	}
+	t.slow[k] = ids
+}
+
 // Len returns the number of indexed items.
 func (t *Table) Len() int { return len(t.codes) }
 

@@ -1,0 +1,295 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"traj2hash/internal/obs"
+)
+
+// Log and snapshot file names inside a store directory.
+const (
+	// LogName is the append log file.
+	LogName = "wal.log"
+	// SnapshotName is the latest complete snapshot.
+	SnapshotName = "snapshot.gob"
+)
+
+// DefaultSnapshotEvery is the snapshot cadence (in appended records)
+// used when Options.SnapshotEvery is zero.
+const DefaultSnapshotEvery = 1024
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the directory holding the log and snapshots; created if
+	// missing.
+	Dir string
+	// SyncEvery is the group-fsync interval: the log is fsynced after
+	// every SyncEvery appends (default 1 — every mutation durable before
+	// its call returns). Larger values trade the durability of the last
+	// few mutations for throughput; recovery still replays cleanly, it
+	// just sees a shorter durable prefix.
+	SyncEvery int
+	// SnapshotEvery is the snapshot cadence in appended records: after
+	// this many appends SnapshotDue reports true and the owner is
+	// expected to write a snapshot, which resets the log. 0 means the
+	// default (DefaultSnapshotEvery); negative disables cadence-driven
+	// snapshots (WriteSnapshot still works).
+	SnapshotEvery int
+	// Metrics, when non-nil, receives the store's counters: wal.appends,
+	// wal.fsyncs, wal.snapshots, and on Open wal.recoveries plus
+	// wal.torn_tails. Nil disables instrumentation (nil-safe no-ops).
+	Metrics *obs.Registry
+	// FS is the filesystem seam (default OSFS). Tests inject
+	// faultinject's wrapper here.
+	FS VFS
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 1
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
+	return o
+}
+
+// Recovered is what Open found on disk: the latest complete snapshot
+// (nil if none was ever written), the log records appended after it in
+// append order, and whether the log ended in a torn record — a crash
+// mid-append — that recovery truncated away. The caller rebuilds its
+// in-memory state from Snapshot, then re-applies Tail idempotently.
+type Recovered struct {
+	Snapshot *State
+	Tail     []Record
+	TornTail bool
+}
+
+// Store is the durability engine of an index: one append log plus
+// periodic snapshots in a directory. All methods are safe for concurrent
+// use; appends are serialized by an internal mutex, which is also what
+// makes the fixed temp-file name of the snapshot writer safe.
+//
+// The write protocol its owner follows: apply the mutation in memory,
+// Append the record (group-fsynced), and when SnapshotDue, capture the
+// state and WriteSnapshot it — which resets the log, bounding replay
+// work by the snapshot cadence.
+type Store struct {
+	opts Options
+	fs   VFS
+	dir  string
+
+	mu        sync.Mutex
+	f         File
+	buf       []byte
+	pending   int // appends since the last fsync
+	sinceSnap int // appends since the last snapshot
+
+	appends   *obs.Counter // wal.appends
+	fsyncs    *obs.Counter // wal.fsyncs
+	snapshots *obs.Counter // wal.snapshots
+}
+
+// Open recovers whatever a previous run left in dir and returns a store
+// ready for appends. Recovery is: load the latest snapshot if present,
+// parse the log, truncate a torn tail (counted on wal.torn_tails), and
+// reopen the log for appending. Every Open of a non-empty directory
+// counts one wal.recoveries.
+func Open(opts Options) (*Store, *Recovered, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("wal: Options.Dir is required")
+	}
+	fs := opts.FS
+	if err := fs.MkdirAll(opts.Dir); err != nil {
+		return nil, nil, fmt.Errorf("wal: creating %s: %w", opts.Dir, err)
+	}
+	rec := &Recovered{}
+	snapPath := filepath.Join(opts.Dir, SnapshotName)
+	snap, err := loadSnapshot(fs, snapPath)
+	switch {
+	case err == nil:
+		rec.Snapshot = snap
+	case errors.Is(err, os.ErrNotExist):
+	default:
+		return nil, nil, err
+	}
+	logPath := filepath.Join(opts.Dir, LogName)
+	data, err := fs.ReadFile(logPath)
+	hadLog := true
+	switch {
+	case err == nil:
+	case errors.Is(err, os.ErrNotExist):
+		hadLog = false
+		data = nil
+	default:
+		return nil, nil, err
+	}
+	parsed, err := parseLog(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec.Tail = parsed.Records
+	rec.TornTail = parsed.Torn
+	if parsed.Torn {
+		if err := fs.Truncate(logPath, parsed.Valid); err != nil {
+			return nil, nil, fmt.Errorf("wal: truncating torn tail of %s: %w", logPath, err)
+		}
+	}
+	s := &Store{
+		opts:      opts,
+		fs:        fs,
+		dir:       opts.Dir,
+		appends:   opts.Metrics.Counter("wal.appends"),
+		fsyncs:    opts.Metrics.Counter("wal.fsyncs"),
+		snapshots: opts.Metrics.Counter("wal.snapshots"),
+	}
+	if err := s.openLog(parsed.Valid == 0); err != nil {
+		return nil, nil, err
+	}
+	if hadLog || rec.Snapshot != nil {
+		opts.Metrics.Counter("wal.recoveries").Inc()
+	}
+	if rec.TornTail {
+		opts.Metrics.Counter("wal.torn_tails").Inc()
+	}
+	return s, rec, nil
+}
+
+// openLog opens (or reopens) the append handle, writing and syncing the
+// magic header when the file is empty. Callers hold mu (or own the store
+// exclusively, as Open does).
+func (s *Store) openLog(empty bool) error {
+	f, err := s.fs.OpenAppend(filepath.Join(s.dir, LogName))
+	if err != nil {
+		return err
+	}
+	if empty {
+		if _, err := f.Write(magic); err != nil {
+			//lint:ignore errcheck the write error takes precedence over the cleanup close
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			//lint:ignore errcheck the sync error takes precedence over the cleanup close
+			f.Close()
+			return err
+		}
+	}
+	s.f = f
+	return nil
+}
+
+// Append logs one mutation record. The record is durable once this (or
+// a later) call has fsynced — with SyncEvery == 1, immediately; with
+// group fsync, after at most SyncEvery-1 further appends or an explicit
+// Sync. An append error leaves the store unusable for further appends
+// (the log position is undefined); the owner should surface it and
+// rebuild via Open.
+func (s *Store) Append(r Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("wal: store is closed")
+	}
+	s.buf = appendRecord(s.buf[:0], r)
+	if _, err := s.f.Write(s.buf); err != nil {
+		return fmt.Errorf("wal: appending %s record for id %d: %w", r.Op, r.ID, err)
+	}
+	s.appends.Inc()
+	s.pending++
+	s.sinceSnap++
+	if s.pending >= s.opts.SyncEvery {
+		return s.syncLocked()
+	}
+	return nil
+}
+
+// Sync forces any appends still buffered by the group-fsync window to
+// stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil || s.pending == 0 {
+		return nil
+	}
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	s.fsyncs.Inc()
+	s.pending = 0
+	return nil
+}
+
+// SnapshotDue reports whether enough records have been appended since
+// the last snapshot to warrant a new one.
+func (s *Store) SnapshotDue() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.opts.SnapshotEvery > 0 && s.sinceSnap >= s.opts.SnapshotEvery
+}
+
+// WriteSnapshot atomically persists state and resets the log. The
+// ordering is the recovery contract: the snapshot is fully durable
+// (tmp + fsync + rename + dir sync) BEFORE the log is truncated, so a
+// crash anywhere in between leaves the new snapshot plus a stale log —
+// which replays idempotently — never a state only partially captured.
+func (s *Store) WriteSnapshot(state *State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("wal: store is closed")
+	}
+	if s.pending > 0 {
+		if err := s.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if err := saveSnapshot(s.fs, filepath.Join(s.dir, SnapshotName), state); err != nil {
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("wal: closing log before reset: %w", err)
+	}
+	s.f = nil
+	if err := s.fs.Truncate(filepath.Join(s.dir, LogName), 0); err != nil {
+		return fmt.Errorf("wal: resetting log: %w", err)
+	}
+	if err := s.openLog(true); err != nil {
+		return err
+	}
+	s.sinceSnap = 0
+	s.pending = 0
+	s.snapshots.Inc()
+	return nil
+}
+
+// Close syncs pending appends and releases the log handle. The store is
+// unusable afterwards; reopen with Open.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	var firstErr error
+	if s.pending > 0 {
+		firstErr = s.syncLocked()
+	}
+	if err := s.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	s.f = nil
+	return firstErr
+}

@@ -1,0 +1,342 @@
+package wal
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"traj2hash/internal/hamming"
+	"traj2hash/internal/obs"
+)
+
+// sampleRecords is a mix of every op shape: full add, bare delete,
+// update without a trajectory, and an add with negative/NaN-free floats.
+func sampleRecords() []Record {
+	return []Record{
+		{Op: OpAdd, ID: 0, Emb: []float64{1.5, -2.25, 0}, Code: hamming.Code{Bits: 3, Words: []uint64{0b101}}, Traj: []float64{1, 2, 3, 4}},
+		{Op: OpDelete, ID: 0},
+		{Op: OpAdd, ID: 1, Emb: []float64{math.Pi}, Code: hamming.Code{Bits: 1, Words: []uint64{1}}},
+		{Op: OpUpdate, ID: 1, Emb: []float64{-math.SqrtPi}, Code: hamming.Code{Bits: 1, Words: []uint64{0}}, Traj: []float64{9, 9}},
+	}
+}
+
+func TestRecordFramingRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	data := append([]byte(nil), magic...)
+	for _, r := range recs {
+		data = appendRecord(data, r)
+	}
+	parsed, err := parseLog(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Torn {
+		t.Fatal("intact log reported torn")
+	}
+	if parsed.Valid != int64(len(data)) {
+		t.Fatalf("valid prefix %d, want %d", parsed.Valid, len(data))
+	}
+	if !reflect.DeepEqual(parsed.Records, recs) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", parsed.Records, recs)
+	}
+}
+
+// TestTornTailDetection cuts an intact log at every byte boundary inside
+// its final record: each cut must parse as the full prefix plus a torn
+// tail, never an error and never a phantom record.
+func TestTornTailDetection(t *testing.T) {
+	recs := sampleRecords()
+	data := append([]byte(nil), magic...)
+	for _, r := range recs[:3] {
+		data = appendRecord(data, r)
+	}
+	intact := int64(len(data))
+	data = appendRecord(data, recs[3])
+	for cut := intact + 1; cut < int64(len(data)); cut++ {
+		parsed, err := parseLog(data[:cut])
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if !parsed.Torn {
+			t.Fatalf("cut at %d not reported torn", cut)
+		}
+		if parsed.Valid != intact {
+			t.Fatalf("cut at %d: valid prefix %d, want %d", cut, parsed.Valid, intact)
+		}
+		if len(parsed.Records) != 3 {
+			t.Fatalf("cut at %d: %d records, want 3", cut, len(parsed.Records))
+		}
+	}
+}
+
+// TestCorruptedTailCRC flips one payload byte of the final record: the
+// checksum must reject it as a torn tail while the prefix survives.
+func TestCorruptedTailCRC(t *testing.T) {
+	data := append([]byte(nil), magic...)
+	data = appendRecord(data, sampleRecords()[0])
+	intact := int64(len(data))
+	data = appendRecord(data, sampleRecords()[2])
+	data[len(data)-1] ^= 0xFF
+	parsed, err := parseLog(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Torn || parsed.Valid != intact || len(parsed.Records) != 1 {
+		t.Fatalf("corrupt tail: torn=%v valid=%d records=%d, want true/%d/1", parsed.Torn, parsed.Valid, len(parsed.Records), intact)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := parseLog([]byte("NOPE-this-is-not-a-log")); err == nil {
+		t.Fatal("foreign file accepted as a log")
+	}
+	parsed, err := parseLog([]byte("TW")) // torn mid-magic: valid prefix empty
+	if err != nil || !parsed.Torn || parsed.Valid != 0 {
+		t.Fatalf("short magic: parsed=%+v err=%v, want torn with empty prefix", parsed, err)
+	}
+}
+
+// TestStoreRoundTrip drives the full protocol on a real directory:
+// append → snapshot → append → close → reopen, asserting the recovered
+// snapshot and tail plus the counters the obs registry accumulated.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.New()
+	open := func() (*Store, *Recovered) {
+		t.Helper()
+		s, rec, err := Open(Options{Dir: dir, Metrics: reg, SnapshotEvery: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, rec
+	}
+	s, rec := open()
+	if rec.Snapshot != nil || len(rec.Tail) != 0 || rec.TornTail {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	recs := sampleRecords()
+	for _, r := range recs[:2] {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state := &State{Next: 1, Items: []Item{{ID: 0, Emb: []float64{1.5}, Code: hamming.Code{Bits: 1, Words: []uint64{1}}, Traj: []float64{1, 2}}}}
+	if err := s.WriteSnapshot(state); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs[2:] {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec2 := open()
+	defer func() {
+		//lint:ignore errcheck test cleanup close
+		s2.Close()
+	}()
+	if rec2.Snapshot == nil || !reflect.DeepEqual(rec2.Snapshot, state) {
+		t.Fatalf("recovered snapshot %+v, want %+v", rec2.Snapshot, state)
+	}
+	if !reflect.DeepEqual(rec2.Tail, recs[2:]) {
+		t.Fatalf("recovered tail %+v, want %+v", rec2.Tail, recs[2:])
+	}
+	if rec2.TornTail {
+		t.Fatal("clean shutdown reported a torn tail")
+	}
+	counter := func(name string) int64 { return reg.Counter(name).Value() }
+	if got := counter("wal.appends"); got != 4 {
+		t.Fatalf("wal.appends = %d, want 4", got)
+	}
+	if got := counter("wal.snapshots"); got != 1 {
+		t.Fatalf("wal.snapshots = %d, want 1", got)
+	}
+	if got := counter("wal.recoveries"); got != 1 {
+		t.Fatalf("wal.recoveries = %d, want 1 (only the second open saw prior state)", got)
+	}
+	if got := counter("wal.torn_tails"); got != 0 {
+		t.Fatalf("wal.torn_tails = %d, want 0", got)
+	}
+	if counter("wal.fsyncs") < 4 {
+		t.Fatalf("wal.fsyncs = %d, want >= 4 (SyncEvery default 1)", counter("wal.fsyncs"))
+	}
+}
+
+// TestStoreTornTailRecovery crashes "mid-append" by hand: bytes are
+// chopped off the log file between two opens. Recovery must surface the
+// intact records, report and count the torn tail, and truncate the file
+// so the NEXT recovery is clean.
+func TestStoreTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.New()
+	s, _, err := Open(Options{Dir: dir, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	for _, r := range recs {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, LogName)
+	info, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(logPath, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec, err := Open(Options{Dir: dir, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.TornTail {
+		t.Fatal("chopped log not reported torn")
+	}
+	if !reflect.DeepEqual(rec.Tail, recs[:3]) {
+		t.Fatalf("recovered tail %+v, want first 3 records", rec.Tail)
+	}
+	if got := reg.Counter("wal.torn_tails").Value(); got != 1 {
+		t.Fatalf("wal.torn_tails = %d, want 1", got)
+	}
+	// The torn bytes are gone from disk: append after recovery, reopen,
+	// and the log parses clean.
+	if err := s2.Append(recs[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, rec3, err := Open(Options{Dir: dir, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		//lint:ignore errcheck test cleanup close
+		s3.Close()
+	}()
+	if rec3.TornTail {
+		t.Fatal("recovered-then-appended log still torn")
+	}
+	want := append(append([]Record(nil), recs[:3]...), recs[3])
+	if !reflect.DeepEqual(rec3.Tail, want) {
+		t.Fatalf("final tail %+v, want %+v", rec3.Tail, want)
+	}
+}
+
+// TestGroupFsync: with SyncEvery=3, appends batch their fsyncs and Sync
+// flushes the remainder.
+func TestGroupFsync(t *testing.T) {
+	reg := obs.New()
+	s, _, err := Open(Options{Dir: t.TempDir(), Metrics: reg, SyncEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		//lint:ignore errcheck test cleanup close
+		s.Close()
+	}()
+	base := reg.Counter("wal.fsyncs").Value() // the magic-header sync
+	for i := 0; i < 7; i++ {
+		if err := s.Append(Record{Op: OpDelete, ID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("wal.fsyncs").Value() - base; got != 2 {
+		t.Fatalf("fsyncs after 7 appends at SyncEvery=3: %d, want 2", got)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("wal.fsyncs").Value() - base; got != 3 {
+		t.Fatalf("fsyncs after explicit Sync: %d, want 3", got)
+	}
+}
+
+// benchRecord builds a realistic-sized record: a 64-dim embedding, its
+// 64-bit code, and a 30-point trajectory.
+func benchRecord(id int) Record {
+	emb := make([]float64, 64)
+	traj := make([]float64, 60)
+	for i := range emb {
+		emb[i] = float64(id*31+i) * 0.125
+	}
+	for i := range traj {
+		traj[i] = float64(id*17+i) * 0.5
+	}
+	return Record{Op: OpAdd, ID: id, Emb: emb, Code: hamming.Code{Bits: 64, Words: []uint64{uint64(id) * 0x9E3779B97F4A7C15}}, Traj: traj}
+}
+
+// BenchmarkMutableWALAppend measures the durable-append hot path with
+// per-record fsync — the latency every mutation pays when durability is
+// configured at its strictest.
+func BenchmarkMutableWALAppend(b *testing.B) {
+	s, _, err := Open(Options{Dir: b.TempDir(), SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		//lint:ignore errcheck benchmark cleanup close
+		s.Close()
+	}()
+	r := benchRecord(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ID = i
+		if err := s.Append(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMutableRecovery measures Open on a directory holding a
+// snapshot plus a log tail — the restart cost the snapshot cadence
+// bounds.
+func BenchmarkMutableRecovery(b *testing.B) {
+	dir := b.TempDir()
+	s, _, err := Open(Options{Dir: dir, SnapshotEvery: -1, SyncEvery: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	state := &State{Next: 512}
+	for id := 0; id < 512; id++ {
+		r := benchRecord(id)
+		state.Items = append(state.Items, Item{ID: id, Emb: r.Emb, Code: r.Code, Traj: r.Traj})
+	}
+	if err := s.WriteSnapshot(state); err != nil {
+		b.Fatal(err)
+	}
+	for id := 512; id < 768; id++ {
+		if err := s.Append(benchRecord(id)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, rec, err := Open(Options{Dir: dir, SnapshotEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rec.Snapshot.Items) != 512 || len(rec.Tail) != 256 {
+			b.Fatalf("recovered %d+%d", len(rec.Snapshot.Items), len(rec.Tail))
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

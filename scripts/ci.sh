@@ -5,13 +5,17 @@
 #      correctness contracts (see DESIGN.md "Static analysis & invariants")
 #   3. go vet
 #   4. go build
-#   5. fault-injection + observability scenarios under the race detector
-#      — the failure-domain contracts (panic isolation, deadlines,
-#      checkpoint rollback) AND their visibility (injected faults must
-#      move the obs counters; see DESIGN.md "Observability") run first
-#      and fast, so a broken contract fails the gate before the full
-#      suite spins up. The faultinject metrics tests export a JSON
-#      snapshot artifact to bin/metrics.json (METRICS_JSON_OUT).
+#   5. fault-injection + observability + durability scenarios under the
+#      race detector — the failure-domain contracts (panic isolation,
+#      deadlines, checkpoint rollback), their visibility (injected
+#      faults must move the obs counters; see DESIGN.md
+#      "Observability"), and the crash-recovery parity suite (a crash
+#      injected at every WAL write/fsync/rename must recover to an
+#      answer-identical prefix; see DESIGN.md "Mutability &
+#      durability") run first and fast, so a broken contract fails the
+#      gate before the full suite spins up. The faultinject metrics
+#      tests export a JSON snapshot artifact to bin/metrics.json
+#      (METRICS_JSON_OUT).
 #   6. encoder benchmark artifact — embed/hash ns/op, ops/sec, and allocs
 #      for every registered encoder kind, exported to
 #      bin/BENCH_encoders.json (BENCH_ENCODERS_OUT)
@@ -22,7 +26,10 @@
 #      against scripts/hotpath_floors.json (allocs are exact, so unlike
 #      ns/op they CAN fail the build; see DESIGN.md "Performance
 #      contracts")
-#   8. full test suite under the race detector (the engine's concurrent
+#   8. mutable-index benchmark artifact — add/delete/compaction/search-
+#      with-tombstones and WAL append/recovery ns_per_op + allocs,
+#      exported to bin/BENCH_mutable.json (informational, no floors)
+#   9. full test suite under the race detector (the engine's concurrent
 #      Add/Search tests only mean something with -race)
 #
 # BENCH_obs — the instrumentation overhead guard (not a CI gate:
@@ -76,11 +83,11 @@ go vet ./... || {
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race (fault-injection + observability scenarios)"
+echo "== go test -race (fault-injection + observability + durability scenarios)"
 METRICS_JSON_OUT="$PWD/bin/metrics.json" \
-	go test -race -run 'Fault|Panic|Chaos|Deadline|Checkpoint|Resume|Diverg|Rollback|Cancel|EdgeCases|Metrics|Degraded|Timeout|Histogram|Tracer|SaveCheckpointFile' \
-	./internal/engine ./internal/faultinject ./internal/core ./internal/obs || {
-	echo "fault injection: a failure-domain contract is broken — partial results, panic isolation, checkpoint rollback, and their metric visibility are specified in DESIGN.md 'Failure semantics & graceful degradation' and 'Observability'"
+	go test -race -run 'Fault|Panic|Chaos|Deadline|Checkpoint|Resume|Diverg|Rollback|Cancel|EdgeCases|Metrics|Degraded|Timeout|Histogram|Tracer|SaveCheckpointFile|Crash|Recover|Torn|Durab|Mutat' \
+	. ./internal/engine ./internal/faultinject ./internal/core ./internal/obs ./internal/wal || {
+	echo "fault injection: a failure-domain contract is broken — partial results, panic isolation, checkpoint rollback, crash-recovery parity, and their metric visibility are specified in DESIGN.md 'Failure semantics & graceful degradation', 'Observability', and 'Mutability & durability'"
 	exit 1
 }
 [ -s bin/metrics.json ] || {
@@ -129,6 +136,27 @@ go test -bench 'BenchmarkHotpath' -benchmem -benchtime 100x -run '^$' \
 }
 [ -s bin/BENCH_hotpath.json ] || {
 	echo "perf contracts: bin/BENCH_hotpath.json missing or empty"
+	exit 1
+}
+
+echo "== mutable-index benchmark artifact (BENCH_mutable.json)"
+# Perf trajectory of the mutability + durability layers: engine
+# add/delete/compaction/tombstone-search and WAL append/recovery.
+# Informational, not a gate (no floors) — wall-clock numbers are too
+# noisy to fail a build on — but the artifact must exist and be
+# non-empty.
+go test -bench 'BenchmarkMutable' -benchmem -benchtime 50x -run '^$' \
+	./internal/engine ./internal/wal >bin/bench_mutable.txt || {
+	cat bin/bench_mutable.txt
+	echo "mutable benchmarks: the BenchmarkMutable suite failed to run"
+	exit 1
+}
+./bin/benchjson -out bin/BENCH_mutable.json <bin/bench_mutable.txt || {
+	echo "mutable benchmarks: benchjson failed to parse bin/bench_mutable.txt"
+	exit 1
+}
+[ -s bin/BENCH_mutable.json ] || {
+	echo "mutable benchmarks: bin/BENCH_mutable.json missing or empty"
 	exit 1
 }
 

@@ -116,7 +116,11 @@ func TestIndexLifecycle(t *testing.T) {
 	// Hamming score is a true Hamming distance.
 	qc := m.Code(q)
 	for _, r := range ham {
-		if int(r.Score) != HammingDistance(qc, m.Code(ix.Trajectory(r.ID))) {
+		rt, ok := ix.Trajectory(r.ID)
+		if !ok {
+			t.Fatalf("result id %d not addressable", r.ID)
+		}
+		if int(r.Score) != HammingDistance(qc, m.Code(rt)) {
 			t.Error("Hamming score mismatch")
 		}
 	}
@@ -124,7 +128,7 @@ func TestIndexLifecycle(t *testing.T) {
 	if d := ix.ApproxDistance(q, eu[0].ID); math.Abs(d*d-eu[0].Score) > 1e-6*(1+eu[0].Score) {
 		t.Errorf("ApproxDistance² %v != score %v", d*d, eu[0].Score)
 	}
-	if len(ix.Embedding(0)) == 0 {
+	if emb, ok := ix.Embedding(0); !ok || len(emb) == 0 {
 		t.Error("Embedding accessor empty")
 	}
 }
@@ -417,7 +421,9 @@ func TestIndexConcurrentAddSearch(t *testing.T) {
 	}
 	// Every id is addressable after the dust settles.
 	for id := 0; id < ix.Len(); id++ {
-		if len(ix.Trajectory(id)) == 0 || len(ix.Embedding(id)) == 0 {
+		rt, tok := ix.Trajectory(id)
+		emb, eok := ix.Embedding(id)
+		if !tok || !eok || len(rt) == 0 || len(emb) == 0 {
 			t.Fatalf("id %d unaddressable", id)
 		}
 	}
