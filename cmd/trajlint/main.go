@@ -130,23 +130,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// printStats reports package/cache counts and, for cold packages,
-// per-rule wall time sorted slowest-first — which is where the perf
-// rules' compiler invocations show up, and why a warm cache run prints
-// an empty timing table.
+// printStats reports package/cache counts and a per-rule table sorted
+// slowest-first: wall time over cold packages (where the perf rules'
+// compiler invocations show up, and why a warm cache run shows dashes)
+// next to surviving finding counts over the whole run (cache entries
+// replay final diagnostics, so counts are complete even when timing
+// is not).
 func printStats(w io.Writer, stats analysis.DriverStats) {
 	fmt.Fprintf(w, "trajlint: %d package(s), %d cached, %d analyzed\n",
 		stats.Packages, stats.CacheHits, stats.CacheMisses)
-	if len(stats.RuleTime) == 0 {
+	names := map[string]bool{}
+	for name := range stats.RuleTime {
+		names[name] = true
+	}
+	for name, n := range stats.RuleFindings {
+		if n > 0 {
+			names[name] = true
+		}
+	}
+	if len(names) == 0 {
 		return
 	}
 	type rt struct {
 		name string
 		d    time.Duration
+		n    int
 	}
 	var rts []rt
-	for name, d := range stats.RuleTime {
-		rts = append(rts, rt{name, d})
+	for name := range names {
+		rts = append(rts, rt{name, stats.RuleTime[name], stats.RuleFindings[name]})
 	}
 	sort.Slice(rts, func(i, j int) bool {
 		if rts[i].d != rts[j].d {
@@ -154,9 +166,13 @@ func printStats(w io.Writer, stats analysis.DriverStats) {
 		}
 		return rts[i].name < rts[j].name
 	})
-	fmt.Fprintf(w, "trajlint: rule timing (cold packages only):\n")
+	fmt.Fprintf(w, "trajlint: per-rule stats (timing covers cold packages only):\n")
 	for _, r := range rts {
-		fmt.Fprintf(w, "  %-14s %v\n", r.name, r.d.Round(time.Microsecond))
+		t := "-"
+		if r.d > 0 {
+			t = r.d.Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(w, "  %-14s %-12s %d finding(s)\n", r.name, t, r.n)
 	}
 }
 
@@ -214,5 +230,16 @@ function's doc comment — anywhere else it is a diagnostic):
                             bounds-check-free in loops; enforced by the
                             hotpathalloc, hotpathbce, and allocinloop
                             rules against real compiler diagnostics
+
+Determinism contracts (reason is mandatory; the directive must sit in a
+function's doc comment — anywhere else it is a diagnostic):
+  //det:replayed <reason>   the function's results must be a pure
+                            function of its inputs — it replays during
+                            recovery or feeds serialized state; the
+                            detmaprange, detwallclock, and detunordered
+                            rules taint-check nondeterminism sources
+                            (map iteration order, wall clock, global
+                            rand, goroutine completion order) away from
+                            its returns and the module's encode sinks
 `)
 }

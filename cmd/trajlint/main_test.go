@@ -161,6 +161,11 @@ func TestCacheFlag(t *testing.T) {
 	if !strings.Contains(errb, "1 cached") || !strings.Contains(errb, "0 analyzed") {
 		t.Errorf("warm -stats should report a full cache hit, got: %s", errb)
 	}
+	// Replayed findings still count in the per-rule table even though a
+	// fully warm run has no timing to report.
+	if !strings.Contains(errb, "per-rule stats") || !strings.Contains(errb, "finding(s)") {
+		t.Errorf("warm -stats should list per-rule finding counts, got: %s", errb)
+	}
 	if !strings.Contains(out, "floatcompare") {
 		t.Errorf("replayed findings should still print, got: %s", out)
 	}

@@ -27,6 +27,18 @@
 //	                cap, fmt.*, string concat, make/new, interface
 //	                boxing) inside marked loops, judged syntactically
 //
+// And three determinism-contract rules enforce the //det:replayed
+// directive and guard every serialization sink with an interprocedural
+// nondeterminism taint analysis (see det.go and detdirective.go):
+//
+//	detmaprange   — map-iteration order never reaches gob encodes, WAL
+//	                append payloads, or //det:replayed returns unsorted
+//	detwallclock  — time.Now/global-rand/ambient-process reads never
+//	                reach serialized state or run inside replayed code
+//	detunordered  — goroutine-completion order (multi-sender channels,
+//	                multi-case selects, captured-write races) never
+//	                reaches serialized state
+//
 // Deliberate violations are suppressed in place with
 //
 //	//lint:ignore <rule> <reason>       (this line and the next)
@@ -127,6 +139,9 @@ func Rules() []*Rule {
 		ruleHotpathAlloc,
 		ruleHotpathBCE,
 		ruleAllocInLoop,
+		ruleDetMapRange,
+		ruleDetWallclock,
+		ruleDetUnordered,
 	}
 }
 
@@ -211,6 +226,7 @@ func runPackageObserved(pkg *Package, rules []*Rule, observe func(rule string, d
 	diags = append(diags, directiveDiags...)
 	diags = append(diags, sup.stale(pkg, selected)...)
 	diags = append(diags, collectPerfDirectives(pkg)...)
+	diags = append(diags, collectDetDirectives(pkg)...)
 	return diags
 }
 

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// --- golden fixtures, one per rule ---
+
+func TestDetMapRangeGolden(t *testing.T) {
+	diags, pkg := fixturePkg(t, "fixtures/detmaprange", "detmaprange")
+	goldenCheck(t, pkg, diags)
+}
+
+func TestDetWallclockGolden(t *testing.T) {
+	diags, pkg := fixturePkg(t, "fixtures/detwallclock", "detwallclock")
+	goldenCheck(t, pkg, diags)
+}
+
+func TestDetUnorderedGolden(t *testing.T) {
+	diags, pkg := fixturePkg(t, "fixtures/detunordered", "detunordered")
+	goldenCheck(t, pkg, diags)
+}
+
+// --- directive validation ---
+
+// TestDetDirectiveValidation: unknown verbs, reasonless marks, and
+// directives not attached to a function doc are diagnosed with a delete
+// fix; well-formed marks on clean functions stay silent — a standing
+// contract is not a stale suppression.
+func TestDetDirectiveValidation(t *testing.T) {
+	// Any selected rule will do: directive validation always runs.
+	diags, _ := fixturePkg(t, "fixtures/detdirective", "detmaprange")
+	const file = "detdirective.go"
+	for name, marker := range map[string]string{
+		"unknown verb":  "MARK:unknown-verb",
+		"inside a body": "MARK:inside-body",
+		"free-floating": "MARK:free-floating",
+	} {
+		line := perfMarkLine(t, "detdirective", file, marker)
+		if !diagAt(diags, file, line, DirectiveRule) {
+			t.Errorf("%s (%s:%d): malformed directive not diagnosed; got %v", name, file, line, diags)
+		}
+	}
+	// The reasonless directive is the line that is exactly
+	// "//det:replayed" (any trailing text would become its reason).
+	data, err := os.ReadFile(filepath.Join("testdata", "src", "detdirective", file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reasonless := 0
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "//det:replayed" {
+			reasonless = i + 1
+			break
+		}
+	}
+	if reasonless == 0 {
+		t.Fatal("fixture lost its bare //det:replayed line")
+	}
+	if !diagAt(diags, file, reasonless, DirectiveRule) {
+		t.Errorf("missing reason (%s:%d): reasonless directive not diagnosed; got %v", file, reasonless, diags)
+	}
+	for _, d := range diags {
+		if d.Rule == DirectiveRule && (d.Fix == nil || len(d.Fix.Edits) == 0) {
+			t.Errorf("%s: malformed det directive should carry a delete fix", d)
+		}
+		if d.Rule != DirectiveRule {
+			t.Errorf("unexpected non-directive diagnostic: %s", d)
+		}
+	}
+	// Exactly the four malformed directives fire — in particular the
+	// well-formed mark on the clean function Restore produces nothing.
+	if n := len(diags); n != 4 {
+		t.Errorf("want 4 directive diagnostics, got %d: %v", n, diags)
+	}
+}
+
+// --- the sort-before-encode autofix ---
+
+func lintDetFixable(t *testing.T, root string) []Diagnostic {
+	t.Helper()
+	l := NewLoaderAt(root, "fixtures")
+	pkg, err := l.Load("fixtures/detfixable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := SelectRules([]string{"detmaprange"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run([]*Package{pkg}, rules)
+}
+
+// TestDetSortFixApply: the detmaprange sort-before-encode autofix
+// inserts the canonical sort above the sink (splicing "sort" into the
+// import group), the rewritten tree re-lints clean, and a second apply
+// is a no-op.
+func TestDetSortFixApply(t *testing.T) {
+	root := copyFixture(t, "detfixable")
+	diags := lintDetFixable(t, root)
+	if len(diags) != 1 {
+		t.Fatalf("detfixable fixture should produce exactly 1 finding, got %v", diags)
+	}
+	if diags[0].Fix == nil || len(diags[0].Fix.Edits) == 0 {
+		t.Fatalf("%s: expected a sort-before-encode fix", diags[0])
+	}
+	res, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Skipped != 0 {
+		t.Fatalf("applied %d, skipped %d; want 1 applied, 0 skipped", res.Applied, res.Skipped)
+	}
+
+	after := lintDetFixable(t, root)
+	for _, d := range after {
+		t.Errorf("diagnostic survived its fix: %s", d)
+	}
+	res2, err := ApplyFixes(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Applied != 0 {
+		t.Fatalf("second apply changed %d fixes; -fix must be idempotent", res2.Applied)
+	}
+
+	data, err := os.ReadFile(filepath.Join(root, "detfixable", "detfixable.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(data)
+	if !strings.Contains(src, "\"sort\"") {
+		t.Errorf("fix should splice the sort import into the group:\n%s", src)
+	}
+	idx := strings.Index(src, "sort.Strings(keys)")
+	sink := strings.Index(src, "enc.Encode(keys)")
+	if idx < 0 || sink < 0 || idx > sink {
+		t.Errorf("fix should insert sort.Strings(keys) before the Encode call:\n%s", src)
+	}
+}
+
+// --- replayed marks and det rules over the real tree ---
+
+// TestDetRulesOnRealTree: the three det rules over the repo's own
+// packages are clean — the replay surface (//det:replayed marks on WAL
+// replay, snapshot/checkpoint codecs, engine Restore, trainLoop) holds
+// its contract. This is the acceptance gate the CI det stage re-runs.
+func TestDetRulesOnRealTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and analyzes the whole module")
+	}
+	l, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := SelectRules([]string{"detmaprange", "detwallclock", "detunordered"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(pkgs, rules) {
+		t.Errorf("det finding on the real tree: %s", d)
+	}
+}

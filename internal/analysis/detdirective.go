@@ -1,0 +1,162 @@
+package analysis
+
+// The //det:replayed directive: a function-level determinism contract.
+//
+//	//det:replayed <reason>
+//
+// placed in a function's doc comment marks the function as part of the
+// replay surface — code whose behavior must be a pure function of its
+// explicit inputs (the WAL, a snapshot, a checkpoint, a seed), because
+// the system re-executes it during recovery or resume and compares the
+// outcome byte-for-byte. The three det rules — detmaprange,
+// detwallclock, detunordered — read these marks: inside a replayed
+// function, nondeterminism sources (map iteration order reaching a
+// return, wall-clock/ambient reads anywhere in the transitive body,
+// goroutine-completion-order values) are findings even without a
+// serialization sink, because the function's outcome IS the sink.
+//
+// The directive is validated exactly like //perf:hotpath in
+// perfdirective.go: a reason is mandatory, the directive must be
+// attached to a function declaration's doc comment, and anything else
+// (reasonless, misplaced, unknown //det: verb) is a diagnostic under
+// the "directive" pseudo-rule carrying a mechanical delete fix.
+//
+// A well-formed directive on a function that currently produces no
+// findings is NOT stale: the mark is a standing contract (the clean
+// state is the goal), unlike a //lint:ignore which exists only to
+// excuse a live finding.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+)
+
+const detPrefix = "det:"
+const detReplayed = "det:replayed"
+
+// detFunc is one function carrying a well-formed //det:replayed
+// directive.
+type detFunc struct {
+	decl   *ast.FuncDecl
+	reason string
+	pos    token.Pos // position of the directive comment
+}
+
+// detFuncs returns the package's well-formed replayed marks in file
+// order. Malformed directives are excluded here (collectDetDirectives
+// reports them); a function with only a malformed mark is not part of
+// the replay surface.
+func detFuncs(pkg *Package) []detFunc {
+	var out []detFunc
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				text, ok := detDirectiveText(c.Text)
+				if !ok || !isReplayedDirective(text) {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(text, detReplayed))
+				if reason == "" {
+					continue // reported by collectDetDirectives
+				}
+				out = append(out, detFunc{decl: fd, reason: reason, pos: c.Pos()})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// collectDetDirectives validates every //det: comment in the package: a
+// directive with an unknown verb, without a reason, or not attached to
+// a function declaration's doc comment is a "directive" diagnostic with
+// a fix that deletes it (whole line when it stands alone), mirroring
+// collectPerfDirectives.
+func collectDetDirectives(pkg *Package) []Diagnostic {
+	attached := map[*ast.Comment]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					attached[c] = fd
+				}
+			}
+		}
+	}
+	var diags []Diagnostic
+	report := func(c *ast.Comment, format string, args ...any) {
+		pos := pkg.Fset.Position(c.Pos())
+		var fix *Fix
+		if src, err := os.ReadFile(pos.Filename); err == nil {
+			edit := lineEditIn(pkg.Fset, c.Pos(), src)
+			start := pos.Offset
+			if strings.TrimSpace(string(src[edit.Start:start])) != "" {
+				edit = Edit{File: pos.Filename, Start: start, End: pkg.Fset.Position(c.End()).Offset}
+			}
+			fix = &Fix{Message: "delete the malformed det directive", Edits: []Edit{edit}}
+		}
+		diags = append(diags, Diagnostic{
+			Pos: pos, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Rule: DirectiveRule, Fix: fix,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := detDirectiveText(c.Text)
+				if !ok {
+					continue
+				}
+				if !isReplayedDirective(text) {
+					report(c, "unknown //det: directive %q (want //det:replayed <reason>); delete it", text)
+					continue
+				}
+				if _, ok := attached[c]; !ok {
+					report(c, "//det:replayed directive is not a function's doc comment — the contract is function-level; move it onto the replayed function or delete it")
+					continue
+				}
+				if strings.TrimSpace(strings.TrimPrefix(text, detReplayed)) == "" {
+					report(c, "//det:replayed needs a written reason: //det:replayed <why replay must reproduce this function exactly>")
+					continue
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// isReplayedDirective reports whether a //det: payload is the replayed
+// verb — exactly "det:replayed", optionally followed by whitespace and
+// a reason ("det:replayedfoo" is an unknown verb, not a reason).
+func isReplayedDirective(text string) bool {
+	if !strings.HasPrefix(text, detReplayed) {
+		return false
+	}
+	rest := text[len(detReplayed):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// detDirectiveText extracts the "det:..." payload from a comment, if
+// any (same normalization as directiveText for //lint:).
+func detDirectiveText(comment string) (string, bool) {
+	var body string
+	switch {
+	case strings.HasPrefix(comment, "//"):
+		body = comment[2:]
+	case strings.HasPrefix(comment, "/*"):
+		body = strings.TrimSuffix(comment[2:], "*/")
+	}
+	body = strings.TrimSpace(body)
+	if strings.HasPrefix(body, detPrefix) {
+		return body, true
+	}
+	return "", false
+}

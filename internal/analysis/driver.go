@@ -67,6 +67,11 @@ type DriverStats struct {
 	// nothing). `trajlint -stats` prints it; the perf rules' compile
 	// time shows up here, which is how a warm cache is visibly cheaper.
 	RuleTime map[string]time.Duration
+	// RuleFindings counts the surviving diagnostics per rule across the
+	// whole run — cached and cold packages alike, since cache entries
+	// replay final diagnostics. Unlike RuleTime it is complete on a
+	// fully warm run, which is why -stats prints both columns.
+	RuleFindings map[string]int
 }
 
 func (d *Driver) jobs() int {
@@ -146,6 +151,10 @@ func (d *Driver) Run(patterns []string) ([]Diagnostic, DriverStats, error) {
 		all = append(all, results[i]...)
 	}
 	SortDiagnostics(all)
+	stats.RuleFindings = map[string]int{}
+	for _, d := range all {
+		stats.RuleFindings[d.Rule]++
+	}
 	return all, stats, nil
 }
 

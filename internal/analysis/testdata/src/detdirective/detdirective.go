@@ -1,0 +1,35 @@
+// Package detdirective seeds malformed //det: directives for the
+// directive-validation tests. Well-formed marks stay silent — including
+// on functions that already satisfy the contract, because a
+// //det:replayed is a standing contract, not a suppression that can go
+// stale.
+package detdirective
+
+// Restore is marked, clean, and produces no diagnostic: the clean state
+// is the contract's goal.
+//
+//det:replayed fixture: standing contract on a clean function
+func Restore(a, b int) int { return a + b }
+
+// Unknown carries a verb the directive grammar does not know.
+//
+//det:replayedonce fixture: MARK:unknown-verb
+func Unknown() int { return 0 }
+
+// Reasonless carries a bare mark with no written justification.
+//
+//det:replayed
+func Reasonless() int { return 1 }
+
+// misplaced holds a directive inside a function body — the contract is
+// function-level, so only doc comments may carry it.
+func misplaced() int {
+	//det:replayed fixture: MARK:inside-body
+	return 2
+}
+
+//det:replayed fixture: MARK:free-floating directive attached to no function
+
+// answer exists so the free-floating directive above has a neighbor
+// that is not a FuncDecl.
+var answer = Restore(40, 2) + Unknown() + Reasonless() + misplaced()

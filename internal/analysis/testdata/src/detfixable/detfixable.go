@@ -1,0 +1,24 @@
+// Package detfixable seeds exactly one mechanically fixable detmaprange
+// finding for the sort-before-encode autofix apply test: the fix must
+// insert the canonical sort on the line before the sink and splice
+// "sort" into the import group, and a re-lint of the rewritten tree
+// must be clean.
+package detfixable
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Snapshot encodes map keys in iteration order; `trajlint -fix` inserts
+// sort.Strings(keys) above the Encode call.
+func Snapshot(m map[string]int) []byte {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	_ = enc.Encode(keys)
+	return buf.Bytes()
+}

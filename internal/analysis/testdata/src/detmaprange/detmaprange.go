@@ -1,0 +1,104 @@
+// Package detmaprange seeds map-iteration-order flows into
+// serialization sinks for the detmaprange golden tests: a direct range
+// into a gob encode, a helper that launders the range through a return
+// value, a WAL append payload, a gob encode of a map-bearing struct
+// type, and the sorted/slot-keyed versions that must stay silent.
+package detmaprange
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sort"
+
+	"fixtures/wal"
+)
+
+// EncodeUnsorted ranges over a map and encodes the keys in iteration
+// order — the canonical violation.
+func EncodeUnsorted(m map[string]int) []byte {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	_ = enc.Encode(keys) // want:detmaprange
+	return buf.Bytes()
+}
+
+// EncodeSorted sorts the keys into their canonical order first: the
+// sort launders the iteration-order taint, so this stays silent.
+func EncodeSorted(m map[string]int) []byte {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	_ = enc.Encode(keys)
+	return buf.Bytes()
+}
+
+// collect launders a map range into a plain slice inside a helper; the
+// taint survives through collect's function summary.
+func collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// EncodeLaundered encodes helper-collected keys without sorting — the
+// interprocedural summary catches it at the sink.
+func EncodeLaundered(m map[string]int, enc *gob.Encoder) error {
+	keys := collect(m)
+	return enc.Encode(keys) // want:detmaprange
+}
+
+// EncodeLaunderedSorted sorts the helper-collected keys first — clean.
+func EncodeLaunderedSorted(m map[string]int, enc *gob.Encoder) error {
+	keys := collect(m)
+	sort.Strings(keys)
+	return enc.Encode(keys)
+}
+
+// AppendKeys feeds map-iteration-ordered bytes into a WAL append
+// payload — the log is replayed verbatim, so the bytes must be stable.
+func AppendKeys(st *wal.Store, m map[string]string) error {
+	var payload []byte
+	for k := range m {
+		payload = append(payload, k...)
+	}
+	return st.Append(payload) // want:detmaprange
+}
+
+// State carries an exported map field: gob serializes map entries in
+// iteration order, so encoding the type is nondeterministic regardless
+// of how the value was built.
+type State struct {
+	Counts map[string]int
+}
+
+// EncodeState gob-encodes a map-bearing struct directly.
+func EncodeState(s State, enc *gob.Encoder) error {
+	return enc.Encode(s) // want:detmaprange
+}
+
+// Pair is the sorted-slice encoding of one map entry.
+type Pair struct {
+	Key string
+	N   int
+}
+
+// EncodePairs encodes the map as a key-sorted pair slice — the
+// canonical fix for EncodeState — and stays silent.
+func EncodePairs(m map[string]int, enc *gob.Encoder) error {
+	pairs := make([]Pair, 0, len(m))
+	for k, n := range m {
+		pairs = append(pairs, Pair{Key: k, N: n})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+	return enc.Encode(pairs)
+}

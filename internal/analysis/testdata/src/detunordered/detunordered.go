@@ -1,0 +1,111 @@
+// Package detunordered seeds goroutine-completion-order flows for the
+// detunordered golden tests: arrival-order collection from workers
+// reaching a gob encode, a multi-case select feeding a sink, and the
+// slot-indexed / sorted collection patterns that must stay silent.
+package detunordered
+
+import (
+	"encoding/gob"
+	"sort"
+	"sync"
+)
+
+// EncodeArrival collects worker results in completion order under a
+// mutex, then encodes the arrival-ordered slice — the bytes depend on
+// goroutine scheduling.
+func EncodeArrival(inputs []float64, enc *gob.Encoder) error {
+	var mu sync.Mutex
+	var out []float64
+	var wg sync.WaitGroup
+	for _, x := range inputs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			out = append(out, x*2)
+		}(x)
+	}
+	wg.Wait()
+	return enc.Encode(out) // want:detunordered
+}
+
+// EncodeSlots collects results by slot index — each goroutine owns one
+// slot, so the result is scheduling-independent and stays silent.
+func EncodeSlots(inputs []float64, enc *gob.Encoder) error {
+	out := make([]float64, len(inputs))
+	var wg sync.WaitGroup
+	for i, x := range inputs {
+		wg.Add(1)
+		go func(i int, x float64) {
+			defer wg.Done()
+			out[i] = x * 2
+		}(i, x)
+	}
+	wg.Wait()
+	return enc.Encode(out)
+}
+
+// EncodeSortedArrival sorts the arrival-ordered slice into a canonical
+// order before encoding — clean.
+func EncodeSortedArrival(inputs []float64, enc *gob.Encoder) error {
+	var mu sync.Mutex
+	var out []float64
+	var wg sync.WaitGroup
+	for _, x := range inputs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			out = append(out, x*2)
+		}(x)
+	}
+	wg.Wait()
+	sort.Float64s(out)
+	return enc.Encode(out)
+}
+
+// EncodeFirst encodes whichever of two channels delivers first — the
+// select winner depends on scheduling.
+func EncodeFirst(a, b <-chan int, enc *gob.Encoder) error {
+	var v int
+	select {
+	case v = <-a:
+	case v = <-b:
+	}
+	return enc.Encode(v) // want:detunordered
+}
+
+// EncodeOnly drains a single-case select — one ready channel is not a
+// scheduling race, so it stays silent.
+func EncodeOnly(a <-chan int, enc *gob.Encoder) error {
+	var v int
+	select {
+	case v = <-a:
+	}
+	return enc.Encode(v)
+}
+
+// EncodeFanIn encodes values received from a channel fed by multiple
+// goroutines — arrival order is scheduling order.
+func EncodeFanIn(inputs []float64, enc *gob.Encoder) error {
+	ch := make(chan float64)
+	var wg sync.WaitGroup
+	for _, x := range inputs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			ch <- x * 2
+		}(x)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	var out []float64
+	for v := range ch {
+		out = append(out, v)
+	}
+	return enc.Encode(out) // want:detunordered
+}

@@ -1,0 +1,81 @@
+// Package detwallclock seeds wall-clock, global-rand, and ambient
+// process-state flows for the detwallclock golden tests: direct reads
+// reaching a gob encode, a helper laundering the clock through a return
+// value, ambient reads inside //det:replayed functions, and the seeded
+// local-rand version that must stay silent.
+package detwallclock
+
+import (
+	"encoding/gob"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// EncodeStamp encodes a wall-clock read.
+func EncodeStamp(enc *gob.Encoder) error {
+	stamp := time.Now().UnixNano()
+	return enc.Encode(stamp) // want:detwallclock
+}
+
+// EncodePerm encodes a permutation drawn from the global rand source.
+func EncodePerm(enc *gob.Encoder) error {
+	p := rand.Perm(8)
+	return enc.Encode(p) // want:detwallclock
+}
+
+// EncodeSeeded draws from an explicitly seeded local source —
+// deterministic given the seed, so it stays silent.
+func EncodeSeeded(enc *gob.Encoder) error {
+	rng := rand.New(rand.NewSource(42))
+	p := rng.Perm(8)
+	return enc.Encode(p)
+}
+
+// EncodePid encodes ambient process identity.
+func EncodePid(enc *gob.Encoder) error {
+	return enc.Encode(os.Getpid()) // want:detwallclock
+}
+
+// stamp launders the clock through a helper return value.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// EncodeStamped is caught through stamp's interprocedural summary.
+func EncodeStamped(enc *gob.Encoder) error {
+	return enc.Encode(stamp()) // want:detwallclock
+}
+
+// restoreSeed is replayed, so its return value must be a pure function
+// of its inputs — returning the clock is a finding even with no
+// serialization sink in sight.
+//
+//det:replayed fixture: recovery re-runs this and compares the outcome byte-for-byte
+func restoreSeed() int64 {
+	return time.Now().UnixNano() // want:detwallclock
+}
+
+// tick reads the clock for a side effect only (no data flow out).
+func tick() {
+	_ = time.Now()
+}
+
+// applyEntry is replayed; calling a helper that observes the clock is a
+// finding even though no clock value flows anywhere.
+//
+//det:replayed fixture: applied from the WAL during recovery
+func applyEntry(n int) int {
+	tick() // want:detwallclock
+	return n * 2
+}
+
+// applyClean is replayed and genuinely pure — no finding, and the
+// standing contract is not a stale mark.
+//
+//det:replayed fixture: standing contract on a clean replay function
+func applyClean(n int) int {
+	return n + 1
+}
+
+var _ = []any{EncodeStamp, EncodePerm, EncodeSeeded, EncodePid, EncodeStamped, restoreSeed, applyEntry, applyClean}

@@ -1,0 +1,17 @@
+// Package wal is a miniature stand-in for the real internal/wal store.
+// The det rules treat the payload of any Append method on a type in a
+// package named "wal" as replayed state (the real log is re-applied
+// verbatim during recovery), so this fixture package exists to exercise
+// that sink from the det fixtures.
+package wal
+
+// Store is the fixture log.
+type Store struct {
+	frames [][]byte
+}
+
+// Append appends one frame payload to the fixture log.
+func (s *Store) Append(payload []byte) error {
+	s.frames = append(s.frames, payload)
+	return nil
+}

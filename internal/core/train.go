@@ -273,6 +273,8 @@ func (m *Model) TrainCtx(ctx context.Context, td TrainData) (*History, error) {
 // and CNNEncoder.TrainCtx: any in-package trainable — a differentiable
 // forward pass plus parameter access — gets the full Section IV-F
 // optimization with checkpointing, resume, and the divergence guard.
+//
+//det:replayed the per-epoch body replays after resume and rollback; (seed, epoch) is the only allowed randomness cursor
 func trainLoop(ctx context.Context, m trainable, td TrainData) (*History, error) {
 	cfg := m.trainConfig()
 	if len(td.Seeds) < cfg.M+1 {

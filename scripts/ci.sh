@@ -26,11 +26,24 @@
 #      against scripts/hotpath_floors.json (allocs are exact, so unlike
 #      ns/op they CAN fail the build; see DESIGN.md "Performance
 #      contracts")
-#   8. mutable-index benchmark artifact — add/delete/compaction/search-
+#   8. determinism contracts — the det-rule subset of trajlint
+#      (detmaprange, detwallclock, detunordered) re-checked standalone:
+#      nondeterminism sources must not reach gob encodes, WAL appends,
+#      or //det:replayed returns (see DESIGN.md "Determinism
+#      contracts"), followed by the trajlint cold/warm cost artifact
+#      bin/BENCH_trajlint.json
+#   9. mutable-index benchmark artifact — add/delete/compaction/search-
 #      with-tombstones and WAL append/recovery ns_per_op + allocs,
 #      exported to bin/BENCH_mutable.json (informational, no floors)
-#   9. full test suite under the race detector (the engine's concurrent
+#  10. WAL fuzz smoke — FuzzReadFrame / FuzzLoadSnapshot for 10s each
+#      over the committed seed corpora (internal/wal/testdata/fuzz/):
+#      frame/snapshot decoding never panics and torn-tail truncation
+#      never misclassifies corruption
+#  11. full test suite under the race detector (the engine's concurrent
 #      Add/Search tests only mean something with -race)
+#  12. benchmark artifacts published to the repo root (BENCH_*.json,
+#      committed — the per-PR perf trajectory) and a repo-hygiene check
+#      that generated outputs stay under bin/
 #
 # BENCH_obs — the instrumentation overhead guard (not a CI gate:
 # wall-clock benchmarks are too noisy to fail a build on; run it when
@@ -65,7 +78,7 @@ lint_status=0
 case "$lint_status" in
 0) ;;
 1)
-	echo "trajlint: findings — a correctness contract is violated. Each rule is documented in DESIGN.md 'Static analysis & invariants', including how to suppress deliberate sites with //lint:ignore <rule> <reason>. Run ./bin/trajlint -fix ./... for the mechanical ones; JSON artifact at bin/trajlint-findings.json"
+	echo "trajlint: findings — a correctness contract is violated. Each rule is documented in DESIGN.md 'Static analysis & invariants', including how to suppress deliberate sites with //lint:ignore <rule> <reason>; det* findings (determinism contracts) are specified in DESIGN.md 'Determinism contracts' (§10). Run ./bin/trajlint -fix ./... for the mechanical ones; JSON artifact at bin/trajlint-findings.json"
 	exit 1
 	;;
 *)
@@ -139,6 +152,37 @@ go test -bench 'BenchmarkHotpath' -benchmem -benchtime 100x -run '^$' \
 	exit 1
 }
 
+echo "== determinism contracts (det rules)"
+# The full trajlint pass above already includes the det rules; this
+# standalone invocation is the determinism gate the replay/serialization
+# surface is held to — map-range order, wall clock, global rand, and
+# goroutine-completion order must never reach gob encodes, WAL appends,
+# or //det:replayed returns. The diagnostics cache makes it a replay.
+./bin/trajlint -cache bin/trajlint-cache -rules detmaprange,detwallclock,detunordered ./... || {
+	echo "determinism contracts: nondeterminism reaches replayed/serialized state — see DESIGN.md 'Determinism contracts' (§10) for the source/sink model, the //det:replayed directive, and the sort-before-encode autofix (./bin/trajlint -fix)"
+	exit 1
+}
+
+echo "== trajlint benchmark artifact (BENCH_trajlint.json)"
+# Cold/warm full-module analysis cost (BenchmarkTrajlintTree): the cold
+# number is the parse+type-check+analyze bill, the warm number is the
+# content-hash cache replay. Informational, no floors — but the artifact
+# must exist so the per-PR tooling-cost trajectory is recorded.
+go test -bench BenchmarkTrajlintTree -benchmem -benchtime 1x -run '^$' \
+	./internal/analysis >bin/bench_trajlint.txt || {
+	cat bin/bench_trajlint.txt
+	echo "trajlint benchmarks: BenchmarkTrajlintTree failed to run"
+	exit 1
+}
+./bin/benchjson -out bin/BENCH_trajlint.json <bin/bench_trajlint.txt || {
+	echo "trajlint benchmarks: benchjson failed to parse bin/bench_trajlint.txt"
+	exit 1
+}
+[ -s bin/BENCH_trajlint.json ] || {
+	echo "trajlint benchmarks: bin/BENCH_trajlint.json missing or empty"
+	exit 1
+}
+
 echo "== mutable-index benchmark artifact (BENCH_mutable.json)"
 # Perf trajectory of the mutability + durability layers: engine
 # add/delete/compaction/tombstone-search and WAL append/recovery.
@@ -160,7 +204,50 @@ go test -bench 'BenchmarkMutable' -benchmem -benchtime 50x -run '^$' \
 	exit 1
 }
 
+echo "== WAL fuzz smoke (10s per target)"
+# Native Go fuzzing over the WAL frame parser and snapshot decoder: the
+# seed corpora under internal/wal/testdata/fuzz/ are committed, and a
+# short randomized run guards the no-panic / torn-tail-classification
+# contracts on every CI pass (go fuzzing takes one target per
+# invocation, hence two runs). New crashers land in the build cache, so
+# this stage leaves the tree clean.
+for target in FuzzReadFrame FuzzLoadSnapshot; do
+	go test -fuzz "$target" -fuzztime 10s -run '^$' ./internal/wal || {
+		echo "wal fuzz: $target found a crasher or invariant violation — the failing input is under the go build cache's fuzz corpus; reproduce with: go test -run $target ./internal/wal"
+		exit 1
+	}
+done
+
 echo "== go test -race ./... $*"
 go test -race "$@" ./...
+
+echo "== benchmark artifacts -> repo root"
+# Publish the per-PR perf trajectory: the bin/ artifacts this run
+# produced are copied to the repo root where they are committed, so the
+# roadmap's perf numbers have a recorded history instead of living only
+# in gitignored build output.
+for name in BENCH_hotpath BENCH_mutable BENCH_encoders BENCH_trajlint; do
+	[ -s "bin/$name.json" ] || {
+		echo "artifacts: bin/$name.json missing or empty"
+		exit 1
+	}
+	cp "bin/$name.json" "$name.json"
+done
+
+echo "== repo hygiene (generated outputs stay under bin/)"
+# Build artifacts belong in bin/ (gitignored). These paths have crept
+# into scripts/ and the repo root before; fail loudly if they return.
+hygiene_fail=0
+for stray in \
+	scripts/trajlint scripts/benchjson scripts/trajlint-cache \
+	scripts/metrics.json scripts/bench_hotpath.txt \
+	scripts/bench_mutable.txt scripts/bench_trajlint.txt \
+	trajlint benchjson trajlint-cache metrics.json; do
+	if [ -e "$stray" ]; then
+		echo "hygiene: $stray is a generated output — it belongs under bin/ (delete it; bin/ is gitignored)"
+		hygiene_fail=1
+	fi
+done
+[ "$hygiene_fail" -eq 0 ] || exit 1
 
 echo "CI OK"
