@@ -27,6 +27,7 @@ import (
 	"traj2hash/internal/experiments"
 	"traj2hash/internal/geo"
 	"traj2hash/internal/obs"
+	"traj2hash/internal/serve"
 )
 
 func main() {
@@ -230,7 +231,7 @@ func cmdTrain(ctx context.Context, args []string) error {
 	// the whole picture.
 	reg := obs.Default()
 	if *debugAddrFlag != "" {
-		bound, err := startDebugServer(ctx, *debugAddrFlag, reg)
+		bound, err := serve.StartDebugServer(ctx, *debugAddrFlag, reg)
 		if err != nil {
 			return err
 		}
@@ -304,7 +305,7 @@ func cmdTrain(ctx context.Context, args []string) error {
 		fmt.Printf("divergence guard tripped at epoch(s) %v; rolled back and replayed at reduced LR\n", h.Diverged)
 	}
 	if *stats {
-		printStats(reg)
+		serve.WriteStats(os.Stdout, reg)
 	}
 	return nil
 }
@@ -337,7 +338,7 @@ func cmdSearch(ctx context.Context, args []string) error {
 	}
 	reg := obs.Default()
 	if *debugAddrFlag != "" {
-		bound, err := startDebugServer(ctx, *debugAddrFlag, reg)
+		bound, err := serve.StartDebugServer(ctx, *debugAddrFlag, reg)
 		if err != nil {
 			return err
 		}
@@ -422,7 +423,7 @@ func cmdSearch(ctx context.Context, args []string) error {
 			idx.HybridFastPaths(), len(queries), *shards)
 	}
 	if *stats {
-		printStats(reg)
+		serve.WriteStats(os.Stdout, reg)
 	}
 	return nil
 }

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"traj2hash/internal/faultinject"
@@ -446,6 +449,215 @@ func TestAccessorsReportMissing(t *testing.T) {
 	}
 	if err := ix.Update(1, ds.Database[5]); !errors.Is(err, ErrDeleted) {
 		t.Errorf("Update of deleted id = %v, want ErrDeleted", err)
+	}
+}
+
+// TestMutationsAfterCloseFailClosed locks the post-Close contract: once
+// Close has released a durable index's WAL, every mutation path returns
+// ErrClosed and applies NOTHING — before the fix, mutations silently
+// succeeded in memory while logMutation treated the nil store as an
+// in-memory no-op, so the caller got an id back for a write that a
+// restart would lose.
+func TestMutationsAfterCloseFailClosed(t *testing.T) {
+	m, ds := untrainedFixture(t)
+	dir := t.TempDir()
+	opts := Options{Backend: BackendMIH, WALDir: dir}
+	ix, err := NewIndexWith(m, ds.Database[:3], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ix.Add(ds.Database[5]); !errors.Is(err, ErrClosed) {
+		t.Errorf("Add after Close = %v, want ErrClosed", err)
+	}
+	if _, err := ix.AddBatch(ds.Database[5:7]); !errors.Is(err, ErrClosed) {
+		t.Errorf("AddBatch after Close = %v, want ErrClosed", err)
+	}
+	if _, err := ix.AddCtx(context.Background(), ds.Database[5]); !errors.Is(err, ErrClosed) {
+		t.Errorf("AddCtx after Close = %v, want ErrClosed", err)
+	}
+	if ids, err := ix.AddBatchCtx(context.Background(), ds.Database[5:7]); !errors.Is(err, ErrClosed) || len(ids) != 0 {
+		t.Errorf("AddBatchCtx after Close = (%v, %v), want ErrClosed and no ids", ids, err)
+	}
+	if err := ix.Delete(0); !errors.Is(err, ErrClosed) {
+		t.Errorf("Delete after Close = %v, want ErrClosed", err)
+	}
+	if err := ix.Update(1, ds.Database[9]); !errors.Is(err, ErrClosed) {
+		t.Errorf("Update after Close = %v, want ErrClosed", err)
+	}
+	// The refused mutations must not have leaked into memory either:
+	// the live set is exactly the pre-Close state and still queryable.
+	if ix.Len() != 3 {
+		t.Fatalf("Len after refused mutations = %d, want 3", ix.Len())
+	}
+	if got := ix.Search(ds.Queries[0], 2); len(got) != 2 {
+		t.Fatalf("Search after Close returned %d results, want 2 (queries must keep working)", len(got))
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil (idempotent)", err)
+	}
+
+	// And none of them claimed durability: a restart sees exactly the
+	// pre-Close state.
+	ix2, err := NewIndexWith(m, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		//lint:ignore errcheck test cleanup close
+		ix2.Close()
+	}()
+	if ix2.Len() != 3 {
+		t.Fatalf("reopened Len = %d, want 3 (a post-Close mutation reached the log)", ix2.Len())
+	}
+	if tr, ok := ix2.Trajectory(1); !ok || !reflect.DeepEqual(tr, ds.Database[1]) {
+		t.Fatal("reopened id 1 does not match the pre-Close state")
+	}
+
+	// An in-memory index has no durability to protect: Close stays a
+	// documented no-op and the index stays mutable.
+	mem, err := NewIndexWith(m, ds.Database[:2], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if id, err := mem.Add(ds.Database[5]); err != nil || id != 2 {
+		t.Fatalf("in-memory Add after Close = (%d, %v), want id 2", id, err)
+	}
+}
+
+// countingEncoder wraps an Encoder and counts trajectories embedded
+// across every embed path — the probe the fail-fast contract tests use
+// to prove a canceled context costs no encoder forward passes.
+type countingEncoder struct {
+	Encoder
+	embeds atomic.Int64
+}
+
+func (c *countingEncoder) Embed(t Trajectory) []float64 {
+	c.embeds.Add(1)
+	return c.Encoder.Embed(t)
+}
+
+func (c *countingEncoder) EmbedAll(ts []Trajectory) [][]float64 {
+	c.embeds.Add(int64(len(ts)))
+	return c.Encoder.EmbedAll(ts)
+}
+
+func (c *countingEncoder) EmbedAllParallel(ts []Trajectory, workers int) [][]float64 {
+	c.embeds.Add(int64(len(ts)))
+	return c.Encoder.EmbedAllParallel(ts, workers)
+}
+
+// TestAddBatchCtxFailsFastBeforeEmbedding locks AddBatchCtx's fail-fast
+// contract at its expensive step: a context that is already done when
+// the call is made must cost ZERO embedding work. Before the fix the
+// whole batch went through EmbedAllParallel before the first ctx check,
+// so a canceled 10k-item batch still paid 10k forward passes.
+func TestAddBatchCtxFailsFastBeforeEmbedding(t *testing.T) {
+	m, ds := untrainedFixture(t)
+	enc := &countingEncoder{Encoder: m}
+	ix, err := NewIndexWith(enc, ds.Database[:2], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded := enc.embeds.Load()
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	ids, err := ix.AddBatchCtx(canceled, ds.Database[2:60])
+	if !errors.Is(err, context.Canceled) || len(ids) != 0 {
+		t.Fatalf("AddBatchCtx on canceled ctx = (%v, %v), want (none, context.Canceled)", ids, err)
+	}
+	if got := enc.embeds.Load(); got != seeded {
+		t.Fatalf("canceled AddBatchCtx embedded %d trajectories; fail-fast means zero", got-seeded)
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("canceled AddBatchCtx mutated the index (Len=%d)", ix.Len())
+	}
+
+	// The live path still embeds (once per item) and applies.
+	ids, err = ix.AddBatchCtx(context.Background(), ds.Database[2:4])
+	if err != nil || len(ids) != 2 {
+		t.Fatalf("live AddBatchCtx = (%v, %v)", ids, err)
+	}
+	if got := enc.embeds.Load(); got != seeded+2 {
+		t.Fatalf("live AddBatchCtx embedded %d trajectories, want 2", got-seeded)
+	}
+}
+
+// TestRecoveryInfoTornFirstRecord locks the RecoveryInfo normalization
+// of restore's no-state path: a clean fresh directory (and a reopen of a
+// directory that saw no mutations) reports no recovery, while a
+// directory whose ONLY record was torn by a crash reports
+// Recovered+TornTail — before the fix both cases looked identical
+// (Recovered == false), so callers could not tell "nothing ever
+// happened here" from "a crash ate the only record".
+func TestRecoveryInfoTornFirstRecord(t *testing.T) {
+	m, ds := untrainedFixture(t)
+	dir := t.TempDir()
+	opts := Options{WALDir: dir}
+
+	ix, err := NewIndexWith(m, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := ix.Recovery(); info.Recovered || info.TornTail {
+		t.Fatalf("fresh directory RecoveryInfo = %+v, want the zero value", info)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopening a directory a previous run opened but never mutated is
+	// still not a recovery: the log holds only its magic header.
+	ix, err = NewIndexWith(m, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := ix.Recovery(); info.Recovered || info.TornTail {
+		t.Fatalf("no-mutation reopen RecoveryInfo = %+v, want the zero value", info)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the first record: a crash mid-append of the only mutation ever
+	// attempted leaves a partial frame header after the magic.
+	f, err := os.OpenFile(filepath.Join(dir, wal.LogName), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ix, err = NewIndexWith(m, ds.Database[:4], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		//lint:ignore errcheck test cleanup close
+		ix.Close()
+	}()
+	info := ix.Recovery()
+	if !info.Recovered || !info.TornTail {
+		t.Fatalf("torn-only reopen RecoveryInfo = %+v, want Recovered and TornTail", info)
+	}
+	if info.FromSnapshot != 0 || info.Replayed != 0 {
+		t.Fatalf("torn-only reopen RecoveryInfo = %+v, want nothing restored", info)
+	}
+	// Nothing was restored, so the initial batch still seeds the index.
+	if ix.Len() != 4 {
+		t.Fatalf("torn-only reopen Len = %d, want the 4 seed trajectories", ix.Len())
 	}
 }
 

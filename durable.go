@@ -28,6 +28,9 @@ import (
 func (ix *Index) Delete(id int) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if ix.closed {
+		return ErrClosed
+	}
 	if err := ix.eng.Delete(id); err != nil {
 		return err
 	}
@@ -47,6 +50,9 @@ func (ix *Index) Update(id int, t Trajectory) error {
 	code := hamming.FromSigns(emb)
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if ix.closed {
+		return ErrClosed
+	}
 	if err := ix.eng.Update(id, emb, code); err != nil {
 		return err
 	}
@@ -64,13 +70,18 @@ func (ix *Index) AddCtx(ctx context.Context, t Trajectory) (int, error) {
 	return ix.Add(t)
 }
 
-// AddBatchCtx is AddBatch honoring cancellation between appends: the
-// context is checked before each item, and on cancellation the ids
-// already indexed (and durably logged, when a WAL is configured) are
+// AddBatchCtx is AddBatch honoring cancellation between appends: a done
+// context fails fast BEFORE the batch is embedded (embedding is the
+// expensive part — the same fail-fast contract AddCtx documents), the
+// context is then re-checked before each item, and on cancellation the
+// ids already indexed (and durably logged, when a WAL is configured) are
 // returned alongside the context's error — the applied prefix.
 func (ix *Index) AddBatchCtx(ctx context.Context, ts []Trajectory) ([]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(ts) == 0 {
-		return nil, ctx.Err()
+		return nil, nil
 	}
 	embs := ix.enc.EmbedAllParallel(ts, ix.opts.Workers)
 	ix.mu.Lock()
@@ -91,14 +102,17 @@ func (ix *Index) AddBatchCtx(ctx context.Context, ts []Trajectory) ([]int, error
 
 // Close releases the durability layer: pending WAL appends are fsynced
 // and the log handle is closed. The index remains usable for queries but
-// further mutations fail; a nil store (in-memory index) makes Close a
-// no-op. Safe to call more than once.
+// further mutations fail with ErrClosed — applying them in memory only
+// would silently break the durability promise every earlier mutation was
+// made under. A nil store (in-memory index) makes Close a no-op and the
+// index stays mutable. Safe to call more than once.
 func (ix *Index) Close() error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if ix.store == nil {
 		return nil
 	}
+	ix.closed = true
 	err := ix.store.Close()
 	ix.store = nil
 	return err
@@ -193,8 +207,12 @@ func (ix *Index) restore(rec *wal.Recovered) error {
 		}
 	}
 	if next == 0 && len(rec.Tail) == 0 {
-		// Fresh directory (or one holding only a torn first record).
-		ix.rec.TornTail = rec.TornTail
+		// No state to rebuild — but "clean fresh directory" and "a crash
+		// ate the only record ever attempted" are different stories, and
+		// callers must be able to tell them apart: a found-and-truncated
+		// torn record marks the directory as recovered even though nothing
+		// was restored.
+		ix.rec = RecoveryInfo{Recovered: rec.TornTail, TornTail: rec.TornTail}
 		return nil
 	}
 	if err := ix.eng.Restore(next, items); err != nil {

@@ -2,6 +2,7 @@ package traj2hash
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -20,6 +21,13 @@ var (
 	ErrNotFound = engine.ErrNotFound
 	ErrDeleted  = engine.ErrDeleted
 )
+
+// ErrClosed is returned by Add/AddBatch/Delete/Update after Close has
+// released a durable index's WAL: once the log handle is gone a mutation
+// could only succeed in memory while silently breaking the durability
+// promise, so the whole mutation is refused instead. Queries keep
+// working. Test with errors.Is.
+var ErrClosed = errors.New("traj2hash: index closed")
 
 // Status reports how completely a context-aware query was answered — the
 // failure-domain contract of the query engine (DESIGN.md "Failure
@@ -112,8 +120,11 @@ type Options struct {
 
 // RecoveryInfo describes what NewIndexWith found in Options.WALDir.
 type RecoveryInfo struct {
-	// Recovered reports whether any prior state (snapshot or log
-	// records) was found and restored.
+	// Recovered reports whether the directory held evidence of a prior
+	// run: restored state (a snapshot and/or intact log records), or a
+	// torn record that recovery truncated. A clean fresh directory — and
+	// one a previous run opened and closed without ever mutating — is the
+	// only Recovered == false case.
 	Recovered bool
 	// FromSnapshot counts items loaded from the snapshot.
 	FromSnapshot int
@@ -136,11 +147,12 @@ type Index struct {
 	opts Options
 	eng  *engine.Engine
 
-	mu    sync.RWMutex // guards trajs, embs, and the store
-	trajs []Trajectory // indexed by global id; nil at deleted ids
-	embs  [][]float64  // indexed by global id; nil at deleted ids
-	store *wal.Store   // nil when Options.WALDir is empty
-	rec   RecoveryInfo
+	mu     sync.RWMutex // guards trajs, embs, the store, and closed
+	trajs  []Trajectory // indexed by global id; nil at deleted ids
+	embs   [][]float64  // indexed by global id; nil at deleted ids
+	store  *wal.Store   // nil when Options.WALDir is empty
+	closed bool         // set by Close on a durable index; mutations fail with ErrClosed
+	rec    RecoveryInfo
 }
 
 // NewIndex embeds and indexes the given trajectories with an encoder
@@ -197,7 +209,13 @@ func NewIndexWith(enc Encoder, ts []Trajectory, opts Options) (*Index, error) {
 			return nil, err
 		}
 	}
-	if ix.rec.Recovered {
+	// The seed batch only applies when recovery restored no state at all.
+	// The engine's id sequence is the authority here, not
+	// RecoveryInfo.Recovered: a directory whose only record was torn (and
+	// truncated) counts as recovered-from-a-crash yet holds nothing, so it
+	// still seeds — while a restored snapshot whose every item was later
+	// deleted restores an empty-but-advanced id space and must not.
+	if ix.eng.NextID() > 0 {
 		return ix, nil
 	}
 	if _, err := ix.AddBatch(ts); err != nil {
@@ -244,6 +262,9 @@ func (ix *Index) AddBatch(ts []Trajectory) ([]int, error) {
 // configured; callers hold ix.mu, which keeps the engine's sequential
 // ids aligned with ix.trajs/ix.embs positions.
 func (ix *Index) add(t Trajectory, emb []float64) (int, error) {
+	if ix.closed {
+		return 0, ErrClosed
+	}
 	code := hamming.FromSigns(emb)
 	id, err := ix.eng.Add(emb, code)
 	if err != nil {

@@ -83,6 +83,38 @@ func (f *Faults) Instances() int {
 	return f.next
 }
 
+// The package-level fallback schedule (SetDefault). Guarded by its own
+// mutex rather than folded into a Faults method: the fallback is chosen
+// at backend CONSTRUCTION time only, so the lock never sits on a search
+// path.
+var (
+	defaultMu     sync.Mutex
+	defaultFaults *Faults
+)
+
+// SetDefault installs (nil clears) the package-level fallback schedule
+// the faulty backend falls back to when engine.Config.Hooks carries no
+// *Faults. It exists for tests that drive the PUBLIC facade: a fault
+// schedule is test instrumentation, so traj2hash.Options deliberately
+// has no Hooks surface — SetDefault is the only seam through which
+// `Options{Backend: faultinject.BackendName}` can reach a schedule.
+// Returns the previous fallback so tests can restore it in a Cleanup.
+// Call it before constructing the index, never while one is serving.
+func SetDefault(f *Faults) *Faults {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	prev := defaultFaults
+	defaultFaults = f
+	return prev
+}
+
+// getDefault returns the current fallback schedule (nil when unset).
+func getDefault() *Faults {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	return defaultFaults
+}
+
 // registerOnce guards the engine-registry registration (the registry
 // panics on duplicates, mirroring database/sql).
 var registerOnce sync.Once
@@ -95,7 +127,10 @@ func Register() {
 		engine.Register(BackendName, func(cfg engine.Config) (engine.Backend, error) {
 			f, ok := cfg.Hooks.(*Faults)
 			if !ok || f == nil {
-				return nil, fmt.Errorf("faultinject: the %q backend needs engine.Config.Hooks to carry a *faultinject.Faults", BackendName)
+				f = getDefault()
+			}
+			if f == nil {
+				return nil, fmt.Errorf("faultinject: the %q backend needs engine.Config.Hooks to carry a *faultinject.Faults (or a SetDefault fallback)", BackendName)
 			}
 			innerName := f.Inner
 			if innerName == "" {

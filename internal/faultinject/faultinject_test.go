@@ -225,6 +225,42 @@ func TestFaultyBackendNeedsHooks(t *testing.T) {
 	}
 }
 
+// TestSetDefaultFallbackSchedule: when engine.Config.Hooks carries no
+// schedule, the faulty backend falls back to the SetDefault one — the
+// seam that lets tests driving the PUBLIC facade (whose Options has no
+// Hooks surface) inject faults. An explicit Hooks schedule still wins,
+// and clearing the fallback restores the loud construction error.
+func TestSetDefaultFallbackSchedule(t *testing.T) {
+	Register()
+	fallback := &Faults{}
+	prev := SetDefault(fallback)
+	t.Cleanup(func() { SetDefault(prev) })
+
+	if _, err := engine.New(engine.Options{Backends: []string{BackendName}, Shards: 2}); err != nil {
+		t.Fatalf("construction with a SetDefault fallback failed: %v", err)
+	}
+	if got := fallback.Instances(); got != 2 {
+		t.Fatalf("fallback schedule built %d instances, want 2 (one per shard)", got)
+	}
+
+	own := &Faults{}
+	if _, err := engine.New(engine.Options{
+		Backends: []string{BackendName},
+		Config:   engine.Config{Hooks: own},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if own.Instances() != 1 || fallback.Instances() != 2 {
+		t.Fatalf("explicit Hooks schedule did not win over the fallback (own=%d fallback=%d)",
+			own.Instances(), fallback.Instances())
+	}
+
+	SetDefault(nil)
+	if _, err := engine.New(engine.Options{Backends: []string{BackendName}}); err == nil {
+		t.Fatal("faulty backend constructed with neither Hooks nor a fallback schedule")
+	}
+}
+
 // TestGradPoisonerCharges: a site armed once fires once and never again —
 // the property that lets a divergence-guard replay pass cleanly.
 func TestGradPoisonerCharges(t *testing.T) {

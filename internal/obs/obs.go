@@ -209,6 +209,16 @@ func (h *Histogram) Merge(o *Histogram) error {
 	}
 }
 
+// Snapshot captures the histogram's current state. A nil histogram (the
+// instrument a nil registry hands out) yields a zero snapshot, whose
+// Quantile is NaN.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return h.snapshot()
+}
+
 // snapshot captures the histogram's current state.
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
@@ -231,6 +241,54 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"`
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation inside the bucket that contains
+// it: the bucket's lower edge (0 for the first bucket) plus the
+// fraction of the bucket's count the target rank reaches. Observations
+// in the overflow bucket have no upper edge, so any quantile landing
+// there reports the last finite bound — a deliberate underestimate that
+// a dashboard reads as "at least this much". An empty snapshot has no
+// quantiles: the result is NaN.
+//
+// The estimate's resolution is the bucket width; use FineLatencyBounds
+// (factor-2 buckets) rather than LatencyBounds (factor-4) for
+// histograms that feed p99/p999 reporting.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for i, n := range s.Counts {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next < target {
+			cum = next
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: no upper edge to interpolate toward.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		frac := (target - cum) / float64(n)
+		return lo + frac*(hi-lo)
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // Snapshot is a point-in-time copy of a Registry: every counter, gauge
@@ -460,6 +518,22 @@ func LatencyBounds() []float64 {
 	for i := range out {
 		out[i] = v
 		v *= 4
+	}
+	return out
+}
+
+// FineLatencyBounds returns the high-resolution latency bucket layout,
+// in seconds: 1µs to ~8s in powers of two. Twice the buckets of
+// LatencyBounds for half the width — the layout for histograms whose
+// tail quantiles (p99/p999, via HistogramSnapshot.Quantile) are
+// reported numbers rather than order-of-magnitude summaries, like the
+// serving layer's per-request latency.
+func FineLatencyBounds() []float64 {
+	out := make([]float64, 24)
+	v := 1e-6
+	for i := range out {
+		out[i] = v
+		v *= 2
 	}
 	return out
 }

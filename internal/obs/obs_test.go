@@ -353,3 +353,74 @@ func TestDefaultRegistryIsSingleton(t *testing.T) {
 		t.Fatal("Default registry counters should persist across lookups")
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	// 100 observations spread uniformly through the (10, 20] bucket:
+	// quantiles interpolate linearly between the bucket's edges.
+	h := NewHistogram([]float64{10, 20, 30})
+	for i := 0; i < 100; i++ {
+		h.Observe(15)
+	}
+	s := h.snapshot()
+	cases := []struct{ q, want float64 }{
+		{0, 10},   // rank 0 sits at the bucket's lower edge
+		{0.5, 15}, // halfway through the bucket
+		{0.99, 19.9},
+		{1, 20}, // the full rank reaches the upper edge
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// Observations across buckets: the quantile walks cumulative counts.
+	h2 := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 90; i++ {
+		h2.Observe(0.5) // first bucket (0, 1]
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(3) // third bucket (2, 4]
+	}
+	s2 := h2.snapshot()
+	if got := s2.Quantile(0.5); got <= 0 || got > 1 {
+		t.Errorf("p50 = %v, want inside the first bucket (0, 1]", got)
+	}
+	if got := s2.Quantile(0.99); got <= 2 || got > 4 {
+		t.Errorf("p99 = %v, want inside the third bucket (2, 4]", got)
+	}
+
+	// The overflow bucket has no upper edge: quantiles landing there
+	// report the last finite bound (a deliberate underestimate).
+	h3 := NewHistogram([]float64{1, 2})
+	h3.Observe(100)
+	if got := h3.snapshot().Quantile(0.5); math.Abs(got-2) > 1e-9 {
+		t.Errorf("overflow quantile = %v, want the last bound 2", got)
+	}
+
+	// An empty snapshot has no quantiles.
+	if got := NewHistogram([]float64{1}).snapshot().Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty Quantile = %v, want NaN", got)
+	}
+}
+
+func TestFineLatencyBounds(t *testing.T) {
+	b := FineLatencyBounds()
+	if len(b) != 24 {
+		t.Fatalf("len = %d, want 24", len(b))
+	}
+	if math.Abs(b[0]-1e-6) > 1e-18 {
+		t.Errorf("first bound = %v, want 1µs", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if math.Abs(b[i]-2*b[i-1]) > 1e-12*b[i] {
+			t.Errorf("bound %d = %v, want double its predecessor %v", i, b[i], b[i-1])
+		}
+	}
+	// The layout must be a valid ascending histogram configuration and
+	// reach far enough to hold any plausible request latency (~8s).
+	NewHistogram(b).Observe(7)
+	if b[len(b)-1] < 5 {
+		t.Errorf("last bound = %v, want several seconds of headroom", b[len(b)-1])
+	}
+}

@@ -1,10 +1,11 @@
-package main
+package serve
 
 import (
 	"context"
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -17,13 +18,12 @@ import (
 	"traj2hash/internal/obs"
 )
 
-// debugAddr normalizes a -debug-addr value to a loopback-by-default
-// listen address: ":6060" and "6060" become "127.0.0.1:6060". The debug
-// surface (metrics, traces, pprof) is operational introspection, not a
-// public API — exposing it beyond the local host requires spelling out
-// an explicit host, which keeps the accidental-exposure failure mode
-// opt-in.
-func debugAddr(addr string) string {
+// ListenAddr normalizes a listen-address flag value to loopback by
+// default: ":6060" and "6060" become "127.0.0.1:6060". The serving and
+// debug surfaces are operational endpoints, not public APIs — exposing
+// them beyond the local host requires spelling out an explicit host,
+// which keeps the accidental-exposure failure mode opt-in.
+func ListenAddr(addr string) string {
 	if !strings.Contains(addr, ":") {
 		return "127.0.0.1:" + addr
 	}
@@ -35,30 +35,24 @@ func debugAddr(addr string) string {
 
 // publishExpvarOnce guards the process-global expvar registration
 // (expvar.Publish panics on duplicate names; tests may start several
-// debug servers in one process).
+// servers in one process).
 var publishExpvarOnce sync.Once
 
-// startDebugServer binds a localhost-by-default HTTP listener serving
-// the operational debug surface over the given registry:
+// MountDebug registers the operational debug surface on mux over reg:
 //
 //	/metrics       the registry's JSON snapshot (counters, gauges, histograms)
 //	/trace         the span ring buffer, oldest first
 //	/debug/pprof/  the standard pprof handlers (profile, heap, trace, ...)
 //	/debug/vars    expvar, including the registry under "traj2hash.metrics"
 //
-// The server's lifetime is bound to ctx: when the command context is
-// canceled (Ctrl-C) the listener closes and both goroutines exit. The
-// bound address is returned so callers can log it.
-func startDebugServer(ctx context.Context, addr string, reg *obs.Registry) (string, error) {
-	ln, err := net.Listen("tcp", debugAddr(addr))
-	if err != nil {
-		return "", fmt.Errorf("debug server: %w", err)
-	}
+// It is the one implementation behind both the CLI's -debug-addr server
+// and the traj2hashd daemon's debug endpoints. The expvar registration
+// is process-global and first-registry-wins; everything else is local to
+// mux.
+func MountDebug(mux *http.ServeMux, reg *obs.Registry) {
 	publishExpvarOnce.Do(func() {
 		expvar.Publish("traj2hash.metrics", reg.Expvar())
 	})
-
-	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := reg.WriteJSON(w); err != nil {
@@ -77,7 +71,23 @@ func startDebugServer(ctx context.Context, addr string, reg *obs.Registry) (stri
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
+// StartDebugServer binds a localhost-by-default HTTP listener serving
+// the MountDebug surface over the given registry — the standalone form
+// behind the CLI's -debug-addr flag (the daemon mounts the same surface
+// on its serving mux instead).
+//
+// The server's lifetime is bound to ctx: when the command context is
+// canceled (Ctrl-C) the listener closes and both goroutines exit. The
+// bound address is returned so callers can log it.
+func StartDebugServer(ctx context.Context, addr string, reg *obs.Registry) (string, error) {
+	ln, err := net.Listen("tcp", ListenAddr(addr))
+	if err != nil {
+		return "", fmt.Errorf("debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	MountDebug(mux, reg)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		// Lifetime bound to the command context: cancellation closes the
@@ -97,19 +107,19 @@ func startDebugServer(ctx context.Context, addr string, reg *obs.Registry) (stri
 	return ln.Addr().String(), nil
 }
 
-// printStats writes a human-oriented summary of the registry to stdout:
+// WriteStats writes a human-oriented summary of the registry to w:
 // counters and gauges by name, histograms as count/mean. It is the
-// -stats epilogue of train and search.
-func printStats(reg *obs.Registry) {
+// -stats epilogue of the CLI's train and search subcommands.
+func WriteStats(w io.Writer, reg *obs.Registry) {
 	s := reg.Snapshot()
 	names := make([]string, 0, len(s.Counters))
 	for n := range s.Counters {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fmt.Println("-- stats --")
+	fmt.Fprintln(w, "-- stats --")
 	for _, n := range names {
-		fmt.Printf("%-40s %d\n", n, s.Counters[n])
+		fmt.Fprintf(w, "%-40s %d\n", n, s.Counters[n])
 	}
 	names = names[:0]
 	for n := range s.Gauges {
@@ -117,7 +127,7 @@ func printStats(reg *obs.Registry) {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		fmt.Printf("%-40s %g\n", n, s.Gauges[n])
+		fmt.Fprintf(w, "%-40s %g\n", n, s.Gauges[n])
 	}
 	names = names[:0]
 	for n := range s.Histograms {
@@ -130,6 +140,6 @@ func printStats(reg *obs.Registry) {
 		if h.Count > 0 {
 			mean = h.Sum / float64(h.Count)
 		}
-		fmt.Printf("%-40s n=%d mean=%g\n", n, h.Count, mean)
+		fmt.Fprintf(w, "%-40s n=%d mean=%g\n", n, h.Count, mean)
 	}
 }

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"context"
@@ -13,7 +13,7 @@ import (
 	"traj2hash/internal/obs"
 )
 
-func TestDebugAddrNormalizesToLoopback(t *testing.T) {
+func TestListenAddrNormalizesToLoopback(t *testing.T) {
 	cases := map[string]string{
 		":6060":          "127.0.0.1:6060",
 		"6060":           "127.0.0.1:6060",
@@ -21,8 +21,8 @@ func TestDebugAddrNormalizesToLoopback(t *testing.T) {
 		"0.0.0.0:6060":   "0.0.0.0:6060", // explicit host: the operator asked for exposure
 	}
 	for in, want := range cases {
-		if got := debugAddr(in); got != want {
-			t.Errorf("debugAddr(%q) = %q, want %q", in, got, want)
+		if got := ListenAddr(in); got != want {
+			t.Errorf("ListenAddr(%q) = %q, want %q", in, got, want)
 		}
 	}
 }
@@ -46,7 +46,7 @@ func get(t *testing.T, url string) (int, string) {
 // TestDebugServerServesMetricsTraceAndPprof starts the server on an
 // ephemeral loopback port, exercises every endpoint, and verifies that
 // canceling the context closes the listener (the goroutine-leak
-// contract of startDebugServer).
+// contract of StartDebugServer).
 func TestDebugServerServesMetricsTraceAndPprof(t *testing.T) {
 	reg := obs.New()
 	reg.Counter("cli.test.hits").Add(3)
@@ -55,7 +55,7 @@ func TestDebugServerServesMetricsTraceAndPprof(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	addr, err := startDebugServer(ctx, "127.0.0.1:0", reg)
+	addr, err := StartDebugServer(ctx, "127.0.0.1:0", reg)
 	if err != nil {
 		t.Fatal(err)
 	}

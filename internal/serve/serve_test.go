@@ -1,0 +1,396 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"traj2hash"
+	"traj2hash/internal/faultinject"
+	"traj2hash/internal/obs"
+)
+
+// serveDataset builds one small deterministic dataset per process.
+var (
+	dsOnce sync.Once
+	dsMemo *traj2hash.Dataset
+)
+
+func serveDataset(t *testing.T) *traj2hash.Dataset {
+	t.Helper()
+	dsOnce.Do(func() {
+		dsMemo = traj2hash.BuildDataset(traj2hash.Porto(),
+			traj2hash.SplitSpec{Seed: 10, Validation: 6, Corpus: 30, Queries: 6, Database: 40}, 9)
+	})
+	return dsMemo
+}
+
+// testIndex builds a training-free GeoPTH index over the fixture
+// dataset's database split with the given options.
+func testIndex(t *testing.T, opts traj2hash.Options) (*traj2hash.Index, *traj2hash.Dataset) {
+	t.Helper()
+	ds := serveDataset(t)
+	enc, err := traj2hash.NewEncoder(traj2hash.EncoderGeoPTH, traj2hash.DefaultConfig(16), ds.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := traj2hash.NewIndexWith(enc, ds.Database, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, ds
+}
+
+// startServer runs a Server on an ephemeral loopback port and returns
+// its base URL, a cancel that starts the drain, and the channel Run's
+// error lands on.
+func startServer(t *testing.T, cfg Config) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- srv.Run(ctx, ln)
+		close(errc) // tests may consume the error; cleanup still unblocks
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-errc:
+		case <-time.After(10 * time.Second):
+			t.Error("server did not drain within 10s")
+		}
+	})
+	return "http://" + ln.Addr().String(), cancel, errc
+}
+
+// postJSON POSTs v and decodes the JSON reply into out (skipped when
+// out is nil), returning the status code.
+func postJSON(t *testing.T, url string, v, out any) int {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decoding %d reply: %v", url, resp.StatusCode, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServeEndpointRoundTrips drives every endpoint once over a live
+// listener: search, the three mutations (including their 404/410 error
+// mapping), stats, healthz, and the malformed-input paths.
+func TestServeEndpointRoundTrips(t *testing.T) {
+	idx, ds := testIndex(t, traj2hash.Options{})
+	reg := obs.New()
+	base, _, _ := startServer(t, Config{Index: idx, Metrics: reg, DefaultTimeout: 5 * time.Second})
+
+	var sr SearchResponse
+	if code := postJSON(t, base+"/search", SearchRequest{Traj: FromTrajectory(ds.Queries[0]), K: 5}, &sr); code != http.StatusOK {
+		t.Fatalf("/search status %d", code)
+	}
+	if !sr.Complete || len(sr.Results) != 5 || sr.Batched < 1 {
+		t.Fatalf("search reply %+v, want 5 complete results with Batched >= 1", sr)
+	}
+
+	n := idx.Len()
+	var mr MutateResponse
+	if code := postJSON(t, base+"/add", MutateRequest{Traj: FromTrajectory(ds.Queries[1])}, &mr); code != http.StatusOK {
+		t.Fatalf("/add status %d", code)
+	}
+	if mr.Len != n+1 {
+		t.Fatalf("add: len %d, want %d", mr.Len, n+1)
+	}
+	if code := postJSON(t, base+"/update", MutateRequest{ID: mr.ID, Traj: FromTrajectory(ds.Queries[2])}, nil); code != http.StatusOK {
+		t.Fatalf("/update status %d", code)
+	}
+	if code := postJSON(t, base+"/delete", MutateRequest{ID: mr.ID}, nil); code != http.StatusOK {
+		t.Fatalf("/delete status %d", code)
+	}
+	if code := postJSON(t, base+"/delete", MutateRequest{ID: mr.ID}, nil); code != http.StatusGone {
+		t.Errorf("double delete status %d, want 410", code)
+	}
+	if code := postJSON(t, base+"/delete", MutateRequest{ID: 999999}, nil); code != http.StatusNotFound {
+		t.Errorf("delete of unknown id status %d, want 404", code)
+	}
+	if code := postJSON(t, base+"/search", SearchRequest{}, nil); code != http.StatusBadRequest {
+		t.Errorf("empty-trajectory search status %d, want 400", code)
+	}
+	resp, err := http.Get(base + "/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /search status %d, want 405", resp.StatusCode)
+	}
+
+	var st StatsResponse
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Len != idx.Len() || st.Backend != idx.Backend() || st.Draining {
+		t.Errorf("stats %+v, want len %d backend %q not draining", st, idx.Len(), idx.Backend())
+	}
+	if st.Metrics.Counters["serve.searches"] < 1 {
+		t.Errorf("stats metrics %v, want serve.searches >= 1", st.Metrics.Counters)
+	}
+
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServeCoalescesConcurrentSearches is the micro-batching contract:
+// concurrent single searches ride one engine invocation. Proven from
+// both sides — the server's obs counters (batch.queries > batch.count)
+// and the per-response Batched field the client sees.
+func TestServeCoalescesConcurrentSearches(t *testing.T) {
+	idx, ds := testIndex(t, traj2hash.Options{})
+	reg := obs.New()
+	base, _, _ := startServer(t, Config{
+		Index: idx, Metrics: reg,
+		DefaultTimeout: 5 * time.Second,
+		BatchWindow:    50 * time.Millisecond, // generous: all 8 must land in one window
+	})
+
+	const concurrent = 8
+	var wg sync.WaitGroup
+	batched := make([]int, concurrent)
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var sr SearchResponse
+			if code := postJSON(t, base+"/search", SearchRequest{Traj: FromTrajectory(ds.Queries[i%len(ds.Queries)]), K: 3}, &sr); code != http.StatusOK {
+				t.Errorf("search %d status %d", i, code)
+				return
+			}
+			batched[i] = sr.Batched
+		}(i)
+	}
+	wg.Wait()
+
+	queries := reg.Counter("serve.batch.queries").Value()
+	batches := reg.Counter("serve.batch.count").Value()
+	if queries != concurrent {
+		t.Fatalf("serve.batch.queries = %d, want %d", queries, concurrent)
+	}
+	if batches >= queries {
+		t.Errorf("serve.batch.count = %d for %d queries: nothing coalesced", batches, queries)
+	}
+	max := 0
+	for _, b := range batched {
+		if b > max {
+			max = b
+		}
+	}
+	if max < 2 {
+		t.Errorf("max Batched = %d, want > 1 (concurrent searches must share a batch)", max)
+	}
+}
+
+// TestServeDeadlineReturnsPartial504 wires a slow shard underneath the
+// daemon via the faultinject fallback seam: a request whose deadline
+// expires mid-fan-out must come back 504 carrying the fast shard's
+// partial results, not an empty error.
+func TestServeDeadlineReturnsPartial504(t *testing.T) {
+	faultinject.Register()
+	prev := faultinject.SetDefault(&faultinject.Faults{
+		SleepOn: map[int]time.Duration{1: 2 * time.Second}, // shard 1 is slow; shard 0 answers
+	})
+	t.Cleanup(func() { faultinject.SetDefault(prev) })
+
+	idx, ds := testIndex(t, traj2hash.Options{Backend: faultinject.BackendName, Shards: 2})
+	reg := obs.New()
+	base, _, _ := startServer(t, Config{Index: idx, Metrics: reg})
+
+	var sr SearchResponse
+	start := time.Now()
+	code := postJSON(t, base+"/search", SearchRequest{Traj: FromTrajectory(ds.Queries[0]), K: 5, TimeoutMS: 100}, &sr)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("request took %v, want prompt return at the 100ms deadline", elapsed)
+	}
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (deadline expired mid-fan-out); reply %+v", code, sr)
+	}
+	if sr.Complete {
+		t.Error("reply marked complete despite an expired deadline")
+	}
+	if len(sr.Results) == 0 {
+		t.Error("504 reply carries no results; want the fast shard's partial answer")
+	}
+	if sr.ShardsOK != 1 {
+		t.Errorf("shards ok = %d, want 1 (only the fast shard answered in time)", sr.ShardsOK)
+	}
+	if !strings.Contains(sr.Err, "deadline") {
+		t.Errorf("reply err %q, want the deadline error", sr.Err)
+	}
+	if got := reg.Counter("serve.timeouts").Value(); got != 1 {
+		t.Errorf("serve.timeouts = %d, want 1", got)
+	}
+}
+
+// TestServeShedsOnOverload fills the admission semaphore with slow
+// searches; everything beyond MaxInFlight must be refused immediately
+// with 503 and counted on serve.shed, never queued.
+func TestServeShedsOnOverload(t *testing.T) {
+	faultinject.Register()
+	prev := faultinject.SetDefault(&faultinject.Faults{
+		SleepOn: map[int]time.Duration{0: 400 * time.Millisecond},
+	})
+	t.Cleanup(func() { faultinject.SetDefault(prev) })
+
+	idx, ds := testIndex(t, traj2hash.Options{Backend: faultinject.BackendName, Shards: 1})
+	reg := obs.New()
+	base, _, _ := startServer(t, Config{
+		Index: idx, Metrics: reg,
+		MaxInFlight: 2,
+		BatchWindow: -1, // no coalescing: each admitted search holds its slot for the full sleep
+	})
+
+	const concurrent = 10
+	var wg sync.WaitGroup
+	codes := make([]int, concurrent)
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = postJSON(t, base+"/search", SearchRequest{Traj: FromTrajectory(ds.Queries[0]), K: 3}, nil)
+		}(i)
+	}
+	wg.Wait()
+
+	ok, shed := 0, 0
+	for _, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			shed++
+		default:
+			t.Errorf("unexpected status %d", c)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("no request was shed despite MaxInFlight=2 and 10 concurrent slow searches")
+	}
+	if ok == 0 {
+		t.Fatal("no request succeeded")
+	}
+	if got := reg.Counter("serve.shed").Value(); got != int64(shed) {
+		t.Errorf("serve.shed = %d, but %d clients saw 503", got, shed)
+	}
+}
+
+// TestServeGracefulDrain is the tentpole's drain contract end to end:
+// cancel Run while slow searches are in flight, and every accepted
+// request must still complete, the WAL must be fsynced and closed
+// (post-drain mutations fail with ErrClosed), nothing may be discarded,
+// and a reopened index must recover the served mutations.
+func TestServeGracefulDrain(t *testing.T) {
+	faultinject.Register()
+	prev := faultinject.SetDefault(&faultinject.Faults{
+		SleepOn: map[int]time.Duration{0: 300 * time.Millisecond},
+	})
+	t.Cleanup(func() { faultinject.SetDefault(prev) })
+
+	dir := t.TempDir()
+	idx, ds := testIndex(t, traj2hash.Options{Backend: faultinject.BackendName, Shards: 1, WALDir: dir})
+	n := idx.Len()
+	reg := obs.New()
+	base, cancel, errc := startServer(t, Config{Index: idx, Metrics: reg})
+
+	// One durable mutation before the drain; it must survive reopen.
+	var mr MutateResponse
+	if code := postJSON(t, base+"/add", MutateRequest{Traj: FromTrajectory(ds.Queries[3])}, &mr); code != http.StatusOK {
+		t.Fatalf("/add status %d", code)
+	}
+
+	const inflight = 4
+	var wg sync.WaitGroup
+	codes := make([]int, inflight)
+	complete := make([]bool, inflight)
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var sr SearchResponse
+			codes[i] = postJSON(t, base+"/search", SearchRequest{Traj: FromTrajectory(ds.Queries[i]), K: 3}, &sr)
+			complete[i] = sr.Complete
+		}(i)
+	}
+	time.Sleep(100 * time.Millisecond) // let the searches reach the slow engine
+	cancel()                           // SIGTERM: drain starts with 4 searches in flight
+	wg.Wait()
+
+	for i, c := range codes {
+		if c != http.StatusOK || !complete[i] {
+			t.Errorf("in-flight search %d: status %d complete %v, want 200 complete (drain must finish accepted work)", i, c, complete[i])
+		}
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("Run returned %v after a clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after drain")
+	}
+	if got := reg.Counter("serve.drain.discarded").Value(); got != 0 {
+		t.Errorf("serve.drain.discarded = %d, want 0", got)
+	}
+
+	// The listener is closed and the WAL released.
+	if _, err := http.Post(base+"/search", "application/json", strings.NewReader("{}")); err == nil {
+		t.Error("post-drain request succeeded; want connection refused")
+	}
+	if _, err := idx.Add(ds.Queries[4]); err != traj2hash.ErrClosed {
+		t.Errorf("post-drain Add error %v, want ErrClosed (drain must Close the index)", err)
+	}
+
+	// Reopen: the pre-drain add must have been fsynced.
+	idx2, _ := testIndex(t, traj2hash.Options{Backend: faultinject.BackendName, Shards: 1, WALDir: dir})
+	defer func() {
+		if err := idx2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if !idx2.Recovery().Recovered {
+		t.Fatal("reopened index recovered nothing")
+	}
+	if idx2.Len() != n+1 {
+		t.Errorf("reopened index has %d trajectories, want %d (seed + the served add)", idx2.Len(), n+1)
+	}
+}

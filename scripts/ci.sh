@@ -39,9 +39,15 @@
 #      over the committed seed corpora (internal/wal/testdata/fuzz/):
 #      frame/snapshot decoding never panics and torn-tail truncation
 #      never misclassifies corruption
-#  11. full test suite under the race detector (the engine's concurrent
+#  11. serving smoke — a real traj2hashd daemon over a temp WAL dir is
+#      driven by cmd/trajload twice: a fixed-count run that must meet a
+#      p99 latency bound, then an open-ended run SIGTERMed mid-flight
+#      that must lose zero accepted requests (the graceful-drain
+#      contract; see DESIGN.md "Serving layer"). The latency quantiles
+#      are exported to bin/BENCH_serving.json via cmd/benchjson
+#  12. full test suite under the race detector (the engine's concurrent
 #      Add/Search tests only mean something with -race)
-#  12. benchmark artifacts published to the repo root (BENCH_*.json,
+#  13. benchmark artifacts published to the repo root (BENCH_*.json,
 #      committed — the per-PR perf trajectory) and a repo-hygiene check
 #      that generated outputs stay under bin/
 #
@@ -218,6 +224,66 @@ for target in FuzzReadFrame FuzzLoadSnapshot; do
 	}
 done
 
+echo "== serving smoke (traj2hashd + trajload -> BENCH_serving.json)"
+# The serving layer's gate: a real daemon over a temp WAL dir, driven by
+# the load generator. Run 1 (fixed count) must meet the p99 bound with
+# zero errors; run 2 (open-ended) is SIGTERMed mid-flight — trajload
+# exits nonzero if any accepted request was dropped, and the daemon
+# exits nonzero if the drain did not complete cleanly (in-flight
+# requests finished, WAL fsynced and closed).
+go build -o bin/traj2hashd ./cmd/traj2hashd
+go build -o bin/trajload ./cmd/trajload
+go build -o bin/traj2hash ./cmd/traj2hash
+serve_tmp=$(mktemp -d)
+./bin/traj2hash gen -city porto -scale tiny -out "$serve_tmp/ds.gob" -seed 7 >/dev/null
+rm -f bin/traj2hashd.addr bin/bench_serving.txt
+./bin/traj2hashd -addr 127.0.0.1:0 -addr-file bin/traj2hashd.addr \
+	-data "$serve_tmp/ds.gob" -encoder geopth -scale tiny \
+	-wal-dir "$serve_tmp/wal" >bin/traj2hashd.log 2>&1 &
+serve_pid=$!
+serve_wait=0
+while [ ! -s bin/traj2hashd.addr ]; do
+	serve_wait=$((serve_wait + 1))
+	if [ "$serve_wait" -gt 100 ]; then
+		cat bin/traj2hashd.log
+		echo "serving: traj2hashd did not write its address file within 10s"
+		kill "$serve_pid" 2>/dev/null || true
+		exit 1
+	fi
+	sleep 0.1
+done
+serve_addr=$(cat bin/traj2hashd.addr)
+./bin/trajload -addr "$serve_addr" -data "$serve_tmp/ds.gob" \
+	-n 300 -c 8 -max-p99 2s -bench-out bin/bench_serving.txt || {
+	cat bin/traj2hashd.log
+	echo "serving: the fixed-count load run failed — request errors or a p99 above 2s; see DESIGN.md 'Serving layer' for the admission/batching knobs"
+	kill "$serve_pid" 2>/dev/null || true
+	exit 1
+}
+./bin/trajload -addr "$serve_addr" -data "$serve_tmp/ds.gob" \
+	-n 0 -c 8 -mix 'search=0.85,add=0.15' >/dev/null &
+load_pid=$!
+sleep 1
+kill -TERM "$serve_pid"
+wait "$load_pid" || {
+	echo "serving: graceful drain dropped accepted requests (trajload exited nonzero) — the drain contract in DESIGN.md 'Serving layer' requires every accepted request to complete"
+	exit 1
+}
+wait "$serve_pid" || {
+	cat bin/traj2hashd.log
+	echo "serving: traj2hashd did not exit cleanly after SIGTERM — drain must finish in-flight work and close the WAL"
+	exit 1
+}
+./bin/benchjson -out bin/BENCH_serving.json <bin/bench_serving.txt || {
+	echo "serving: benchjson failed to parse bin/bench_serving.txt"
+	exit 1
+}
+[ -s bin/BENCH_serving.json ] || {
+	echo "serving: bin/BENCH_serving.json missing or empty"
+	exit 1
+}
+rm -rf "$serve_tmp"
+
 echo "== go test -race ./... $*"
 go test -race "$@" ./...
 
@@ -226,7 +292,7 @@ echo "== benchmark artifacts -> repo root"
 # produced are copied to the repo root where they are committed, so the
 # roadmap's perf numbers have a recorded history instead of living only
 # in gitignored build output.
-for name in BENCH_hotpath BENCH_mutable BENCH_encoders BENCH_trajlint; do
+for name in BENCH_hotpath BENCH_mutable BENCH_encoders BENCH_trajlint BENCH_serving; do
 	[ -s "bin/$name.json" ] || {
 		echo "artifacts: bin/$name.json missing or empty"
 		exit 1
